@@ -1,0 +1,42 @@
+# Convenience targets for the noceval repository. Everything is plain
+# `go` underneath; these just capture the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test bench figures ablations examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B per paper table/figure; each reports its headline metric.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Regenerate every paper figure and table into results/.
+figures:
+	$(GO) run ./cmd/figures -all
+
+# Paper-scale parameters (slow).
+figures-full:
+	$(GO) run ./cmd/figures -all -full
+
+ablations:
+	$(GO) run ./cmd/ablations -out results/ablations.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/designspace
+	$(GO) run ./examples/fullsystem
+	$(GO) run ./examples/correlation
+	$(GO) run ./examples/tracereplay
+
+clean:
+	rm -rf results

@@ -1,0 +1,482 @@
+package noceval
+
+// One benchmark per paper table/figure: each exercises the exact code path
+// that regenerates it (cmd/figures produces the full data series; these
+// run scaled-down versions and report the headline metric via
+// b.ReportMetric so regressions in either performance or *results* are
+// visible from `go test -bench`).
+
+import (
+	"testing"
+
+	"noceval/internal/closedloop"
+	"noceval/internal/core"
+	"noceval/internal/openloop"
+	"noceval/internal/stats"
+	"noceval/internal/workload"
+)
+
+// quickOpenLoop runs a short open-loop measurement.
+func quickOpenLoop(b *testing.B, p core.NetworkParams, rate float64) *openloop.Result {
+	b.Helper()
+	cfg, err := p.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat, _ := p.BuildPattern()
+	sizes, _ := p.BuildSizes()
+	res, err := openloop.Run(openloop.Config{
+		Net: cfg, Pattern: pat, Sizes: sizes, Rate: rate,
+		Warmup: 1000, Measure: 2000, DrainLimit: 20000, Seed: p.Seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func quickBatch(b *testing.B, p core.NetworkParams, bp core.BatchParams) *closedloop.BatchResult {
+	b.Helper()
+	if bp.B == 0 {
+		bp.B = 150
+	}
+	res, err := core.Batch(p, bp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Completed {
+		b.Fatal("batch did not complete")
+	}
+	return res
+}
+
+// BenchmarkFig01 measures one point of the latency/load curve.
+func BenchmarkFig01_LatencyLoadCurve(b *testing.B) {
+	var lat float64
+	for i := 0; i < b.N; i++ {
+		lat = quickOpenLoop(b, core.Baseline(), 0.2).AvgLatency
+	}
+	b.ReportMetric(lat, "avg-latency-cycles")
+}
+
+// BenchmarkFig02 measures batch runtime scaling over b.
+func BenchmarkFig02_BatchSizeScaling(b *testing.B) {
+	var norm float64
+	for i := 0; i < b.N; i++ {
+		res := quickBatch(b, core.Baseline(), core.BatchParams{B: 1000, M: 4})
+		norm = float64(res.Runtime) / 1000
+	}
+	b.ReportMetric(norm, "runtime-per-request")
+}
+
+// BenchmarkFig03 measures the open-loop router-delay latency ratio.
+func BenchmarkFig03_RouterDelayOpenLoop(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		p1 := core.Baseline()
+		p2 := core.Baseline()
+		p2.RouterDelay = 2
+		ratio = quickOpenLoop(b, p2, 0.05).AvgLatency / quickOpenLoop(b, p1, 0.05).AvgLatency
+	}
+	b.ReportMetric(ratio, "tr2-tr1-latency-ratio") // paper: ~1.5
+}
+
+// BenchmarkFig04 measures the batch-model router-delay runtime ratio.
+func BenchmarkFig04_RouterDelayBatch(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		p2 := core.Baseline()
+		p2.RouterDelay = 2
+		r1 := quickBatch(b, core.Baseline(), core.BatchParams{M: 1})
+		r2 := quickBatch(b, p2, core.BatchParams{M: 1})
+		ratio = float64(r2.Runtime) / float64(r1.Runtime)
+	}
+	b.ReportMetric(ratio, "tr2-tr1-runtime-ratio") // paper: ~1.45
+}
+
+// BenchmarkFig05 runs the open-loop/batch correlation procedure.
+func BenchmarkFig05_OpenBatchCorrelation(b *testing.B) {
+	var coeff float64
+	for i := 0; i < b.N; i++ {
+		corr, err := core.CorrelateOpenBatch([]int{1, 4}, []string{"tr=1", "tr=2", "tr=4"},
+			func(j int) core.NetworkParams {
+				p := core.Baseline()
+				p.RouterDelay = []int64{1, 2, 4}[j]
+				return p
+			}, 150, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coeff = corr.Coefficient
+	}
+	b.ReportMetric(coeff, "correlation") // paper: 0.9953
+}
+
+// BenchmarkFig06 compares topologies in the batch model.
+func BenchmarkFig06_TopologyBatch(b *testing.B) {
+	var ringOverMesh float64
+	for i := 0; i < b.N; i++ {
+		mesh := core.Baseline()
+		ring := core.Baseline()
+		ring.Topology = "ring64"
+		rm := quickBatch(b, mesh, core.BatchParams{M: 8})
+		rr := quickBatch(b, ring, core.BatchParams{M: 8})
+		ringOverMesh = float64(rr.Runtime) / float64(rm.Runtime)
+	}
+	b.ReportMetric(ringOverMesh, "ring-mesh-runtime-ratio") // > 1
+}
+
+// BenchmarkFig07 measures the mesh's center/edge finish-time skew.
+func BenchmarkFig07_PerNodeRuntime(b *testing.B) {
+	var skew float64
+	for i := 0; i < b.N; i++ {
+		res := quickBatch(b, core.Baseline(), core.BatchParams{M: 1})
+		finishes := make([]float64, len(res.NodeFinish))
+		for j, t := range res.NodeFinish {
+			finishes[j] = float64(t)
+		}
+		skew = stats.Max(finishes) / stats.Min(finishes)
+	}
+	b.ReportMetric(skew, "worst-best-node-ratio") // mesh: noticeably > 1
+}
+
+// BenchmarkFig08 runs the worst-case topology correlation.
+func BenchmarkFig08_TopologyCorrelation(b *testing.B) {
+	var coeff float64
+	for i := 0; i < b.N; i++ {
+		names := []string{"mesh8x8", "torus8x8", "ring64"}
+		corr, err := core.CorrelateOpenBatch([]int{1, 4}, names,
+			func(j int) core.NetworkParams {
+				p := core.Baseline()
+				p.Topology = names[j]
+				return p
+			}, 150, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coeff = corr.Coefficient
+	}
+	b.ReportMetric(coeff, "correlation") // paper: 0.999
+}
+
+// BenchmarkFig09 measures VAL's zero-load penalty under uniform traffic.
+func BenchmarkFig09_RoutingOpenLoop(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		dor := core.Baseline()
+		dor.VCs = 4
+		val := dor
+		val.Routing = "val"
+		ratio = quickOpenLoop(b, val, 0.05).AvgLatency / quickOpenLoop(b, dor, 0.05).AvgLatency
+	}
+	b.ReportMetric(ratio, "val-dor-latency-ratio") // ~2 (doubled path length)
+}
+
+// BenchmarkFig10 measures the batch model's view of VAL under transpose.
+func BenchmarkFig10_RoutingBatch(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		dor := core.Baseline()
+		dor.VCs = 4
+		dor.Pattern = "transpose"
+		val := dor
+		val.Routing = "val"
+		rd := quickBatch(b, dor, core.BatchParams{M: 1})
+		rv := quickBatch(b, val, core.BatchParams{M: 1})
+		ratio = float64(rv.Runtime) / float64(rd.Runtime)
+	}
+	// Paper: only ~1.7% difference — worst-case nodes route minimally
+	// under both algorithms.
+	b.ReportMetric(ratio, "val-dor-runtime-ratio")
+}
+
+// BenchmarkFig11 builds the per-node runtime distribution.
+func BenchmarkFig11_NodeDistributions(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		p := core.Baseline()
+		p.VCs = 4
+		p.Pattern = "transpose"
+		res := quickBatch(b, p, core.BatchParams{M: 1})
+		finishes := make([]float64, len(res.NodeFinish))
+		for j, t := range res.NodeFinish {
+			finishes[j] = float64(t)
+		}
+		h := stats.NewHistogram(0, stats.Max(finishes)+1, 8)
+		h.AddAll(finishes)
+		spread = stats.Max(finishes) - stats.Min(finishes)
+	}
+	b.ReportMetric(spread, "finish-spread-cycles")
+}
+
+// BenchmarkFig13 collects the lu traffic matrices.
+func BenchmarkFig13_TrafficMatrix(b *testing.B) {
+	var uniformity float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Exec(core.Table2Network(1), core.ExecParams{
+			Benchmark: "lu", CollectMatrix: true, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Coefficient of variation of the actual-traffic matrix: low =
+		// near-uniform (the paper's justification for uniform traffic).
+		s := stats.Summarize(res.Matrix.Cells)
+		uniformity = s.Std / s.Mean
+	}
+	b.ReportMetric(uniformity, "traffic-matrix-cv")
+}
+
+// BenchmarkFig14 runs one execution-driven tr sweep point.
+func BenchmarkFig14_ExecRouterDelay(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		norm, err := core.ExecSweep("fft", []int64{1, 8}, core.ExecParams{Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = norm[1]
+	}
+	b.ReportMetric(ratio, "tr8-tr1-exec-ratio") // paper fft: 1.51
+}
+
+// BenchmarkFig15 computes the baseline batch/exec correlation.
+func BenchmarkFig15_BaselineCorrelation(b *testing.B) {
+	var coeff float64
+	for i := 0; i < b.N; i++ {
+		benches := []string{"blackscholes", "fft"}
+		trs := []int64{1, 4}
+		execNorm := map[string][]float64{}
+		for _, name := range benches {
+			n, err := core.ExecSweep(name, trs, core.ExecParams{Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			execNorm[name] = n
+		}
+		ba, err := core.BatchSweep(trs, core.BatchParams{B: 150, M: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := map[string][]float64{}
+		for _, name := range benches {
+			batch[name] = ba
+		}
+		corr, err := core.CorrelateExecBatch(benches, trs, execNorm, batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coeff = corr.Coefficient
+	}
+	b.ReportMetric(coeff, "correlation")
+}
+
+// BenchmarkFig16 measures NAR's damping of the router-delay effect.
+func BenchmarkFig16_NARInjectionModel(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		p4 := core.Baseline()
+		p4.RouterDelay = 4
+		slow := quickBatch(b, p4, core.BatchParams{M: 16, NAR: 0.04})
+		fast := quickBatch(b, core.Baseline(), core.BatchParams{M: 16, NAR: 0.04})
+		ratio = float64(slow.Runtime) / float64(fast.Runtime)
+	}
+	b.ReportMetric(ratio, "tr4-tr1-ratio-at-low-nar") // ~1: NAR hides tr
+}
+
+// BenchmarkFig17 measures the reply model's damping of the router-delay
+// effect.
+func BenchmarkFig17_ReplyModel(b *testing.B) {
+	var ratio float64
+	reply := closedloop.ProbabilisticReply{L2Latency: 20, MemoryLatency: 300, MissRate: 0.1}
+	for i := 0; i < b.N; i++ {
+		p4 := core.Baseline()
+		p4.RouterDelay = 4
+		slow := quickBatch(b, p4, core.BatchParams{M: 1, Reply: reply})
+		fast := quickBatch(b, core.Baseline(), core.BatchParams{M: 1, Reply: reply})
+		ratio = float64(slow.Runtime) / float64(fast.Runtime)
+	}
+	b.ReportMetric(ratio, "tr4-tr1-ratio-with-memory") // << 2.4 (undamped)
+}
+
+// BenchmarkFig18 runs one enhanced-variant batch sweep.
+func BenchmarkFig18_EnhancedVariants(b *testing.B) {
+	model, err := core.Characterize("lu", workload.Clock3GHz, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		norm, err := core.BatchSweep([]int64{1, 8}, model.BatchParams(150, 1, core.BAInjRe))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = norm[1]
+	}
+	b.ReportMetric(ratio, "tr8-tr1-enhanced-ratio")
+}
+
+// BenchmarkFig19 computes an enhanced-model correlation.
+func BenchmarkFig19_EnhancedCorrelation(b *testing.B) {
+	var coeff float64
+	for i := 0; i < b.N; i++ {
+		benches := []string{"blackscholes", "fft"}
+		trs := []int64{1, 4}
+		execNorm := map[string][]float64{}
+		batch := map[string][]float64{}
+		for _, name := range benches {
+			n, err := core.ExecSweep(name, trs, core.ExecParams{Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			execNorm[name] = n
+			m, err := core.Characterize(name, workload.Clock3GHz, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bn, err := core.BatchSweep(trs, m.BatchParams(150, 1, core.BAInjRe))
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch[name] = bn
+		}
+		corr, err := core.CorrelateExecBatch(benches, trs, execNorm, batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coeff = corr.Coefficient
+	}
+	b.ReportMetric(coeff, "correlation")
+}
+
+// BenchmarkFig20 measures the kernel traffic share at 75 MHz.
+func BenchmarkFig20_KernelShare(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Exec(core.Table2Network(1), core.ExecParams{
+			Benchmark: "lu", Clock: workload.Clock75MHz, Timer: true, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		share = float64(res.KernelFlits) / float64(res.TotalFlits)
+	}
+	b.ReportMetric(share, "kernel-traffic-share") // paper lu: > 0.8 at 75MHz
+}
+
+// BenchmarkFig21 records the injection timeline.
+func BenchmarkFig21_InjectionTimeline(b *testing.B) {
+	var buckets float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Exec(core.Table2Network(1), core.ExecParams{
+			Benchmark: "blackscholes", Clock: workload.Clock75MHz, Timer: true,
+			SampleInterval: 1000, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		buckets = float64(len(res.Timeline))
+	}
+	b.ReportMetric(buckets, "timeline-buckets")
+}
+
+// BenchmarkFig22 compares correlations with and without the OS model.
+func BenchmarkFig22_OSModelCorrelation(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		benches := []string{"blackscholes", "lu"}
+		trs := []int64{1, 4}
+		execNorm := map[string][]float64{}
+		withOS := map[string][]float64{}
+		withoutOS := map[string][]float64{}
+		for _, name := range benches {
+			n, err := core.ExecSweep(name, trs, core.ExecParams{
+				Clock: workload.Clock75MHz, Timer: true, Seed: 7,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			execNorm[name] = n
+			m, err := core.Characterize(name, workload.Clock75MHz, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			on, err := core.BatchSweep(trs, m.BatchParams(150, 1, core.BAInjReOS))
+			if err != nil {
+				b.Fatal(err)
+			}
+			withOS[name] = on
+			noOS := *m
+			noOS.TimerPeriod, noOS.TimerBatch = 0, 0
+			off, err := core.BatchSweep(trs, noOS.BatchParams(150, 1, core.BAInjRe))
+			if err != nil {
+				b.Fatal(err)
+			}
+			withoutOS[name] = off
+		}
+		cOn, err := core.CorrelateExecBatch(benches, trs, execNorm, withOS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cOff, err := core.CorrelateExecBatch(benches, trs, execNorm, withoutOS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = cOn.Coefficient - cOff.Coefficient
+	}
+	b.ReportMetric(gain, "correlation-gain-from-os-model")
+}
+
+// BenchmarkTable3 runs the NAR characterization.
+func BenchmarkTable3_NARCharacterization(b *testing.B) {
+	var nar float64
+	for i := 0; i < b.N; i++ {
+		m, err := core.Characterize("barnes", workload.Clock3GHz, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nar = m.NAR
+	}
+	b.ReportMetric(nar, "nar")
+}
+
+// BenchmarkTable4 measures the 75 MHz benchmark characteristics.
+func BenchmarkTable4_BenchmarkCharacteristics(b *testing.B) {
+	var static float64
+	for i := 0; i < b.N; i++ {
+		m, err := core.Characterize("blackscholes", workload.Clock75MHz, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		static = m.StaticKernelFrac
+	}
+	b.ReportMetric(static, "static-kernel-fraction")
+}
+
+// BenchmarkNetworkThroughput measures raw simulator speed: cycles per
+// second on a saturated 8x8 mesh (not a paper figure; a performance
+// baseline for the simulator itself).
+func BenchmarkNetworkThroughput(b *testing.B) {
+	p := core.Baseline()
+	cfg, err := p.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat, _ := p.BuildPattern()
+	sizes, _ := p.BuildSizes()
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := openloop.Run(openloop.Config{
+			Net: cfg, Pattern: pat, Sizes: sizes, Rate: 0.35,
+			Warmup: 500, Measure: 2000, DrainLimit: 10000, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += 2500
+		_ = res
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}

@@ -1,0 +1,500 @@
+package main
+
+// Execution-driven figures and tables: the batch-model validation of §IV
+// and the kernel-traffic study of §V (Figs 13-22, Tables I-IV).
+
+import (
+	"fmt"
+	"strings"
+
+	"noceval/internal/closedloop"
+	"noceval/internal/core"
+	"noceval/internal/stats"
+	"noceval/internal/workload"
+)
+
+var trSweep = []int64{1, 2, 4, 8}
+
+func init() {
+	register("fig13", fig13)
+	register("fig14", fig14)
+	register("fig15", fig15)
+	register("fig16", fig16)
+	register("fig17", fig17)
+	register("fig18", fig18)
+	register("fig19", fig19)
+	register("fig20", fig20)
+	register("fig21", fig21)
+	register("fig22", fig22)
+	register("table1", table1)
+	register("table2", table2)
+	register("table3", table3)
+	register("table4", table4)
+}
+
+// benchmarks in the paper's Fig 14 order.
+var benchOrder = []string{"blackscholes", "lu", "canneal", "fft", "barnes"}
+
+// fig13 contrasts lu's application-level communication pattern with the
+// traffic actually injected into the network.
+func fig13(c *ctx) error {
+	res, err := core.Exec(core.Table2Network(1), core.ExecParams{
+		Benchmark:     "lu",
+		CollectMatrix: true,
+		Seed:          7,
+	})
+	if err != nil {
+		return err
+	}
+	var out strings.Builder
+	out.WriteString("# Fig 13: lu communication pattern (16 tiles)\n")
+	out.WriteString("# (a) application communication: user request messages only\n")
+	out.WriteString(res.AppMatrix.Normalized().String())
+	out.WriteString("\n# (b) actual injected traffic: all messages (replies, coherence, kernel)\n")
+	out.WriteString(res.Matrix.Normalized().String())
+	out.WriteString("\n# CSV (a):\n")
+	out.WriteString(res.AppMatrix.CSV())
+	out.WriteString("# CSV (b):\n")
+	out.WriteString(res.Matrix.CSV())
+	out.WriteString("# The actual traffic is far more uniform than the logical pattern,\n")
+	out.WriteString("# motivating uniform-random traffic in the batch model comparison (SIV-A).\n")
+	return c.writeFile("fig13.txt", out.String())
+}
+
+// execNormalizedRuntimes runs each benchmark over the tr sweep.
+func execNormalizedRuntimes(ep core.ExecParams) (map[string][]float64, error) {
+	out := map[string][]float64{}
+	for _, b := range benchOrder {
+		norm, err := core.ExecSweep(b, trSweep, ep)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b, err)
+		}
+		out[b] = norm
+	}
+	return out, nil
+}
+
+// fig14 compares normalized runtimes of the execution-driven system and
+// the baseline batch model as tr varies.
+func fig14(c *ctx) error {
+	execNorm, err := execNormalizedRuntimes(core.ExecParams{Seed: 7})
+	if err != nil {
+		return err
+	}
+	baNorm, err := core.BatchSweep(trSweep, core.BatchParams{B: c.scale(300, 1000), M: 1})
+	if err != nil {
+		return err
+	}
+	f := stats.NewFigure("Fig 14: normalized runtime of execution-driven system and batch model (BA) vs tr",
+		"router delay (tr)", "runtime normalized to tr=1")
+	for _, b := range benchOrder {
+		s := f.AddSeries(b)
+		for i, tr := range trSweep {
+			s.Add(float64(tr), execNorm[b][i])
+		}
+	}
+	s := f.AddSeries("BA")
+	for i, tr := range trSweep {
+		s.Add(float64(tr), baNorm[i])
+	}
+	f.Note("each benchmark responds differently to tr; BA cannot distinguish them (paper SIV-B)")
+	return c.writeFigure("fig14", f)
+}
+
+// fig15 computes the baseline batch-vs-execution correlation.
+func fig15(c *ctx) error {
+	execNorm, err := execNormalizedRuntimes(core.ExecParams{Seed: 7})
+	if err != nil {
+		return err
+	}
+	baNorm, err := core.BatchSweep(trSweep, core.BatchParams{B: c.scale(300, 1000), M: 1})
+	if err != nil {
+		return err
+	}
+	batchNorm := map[string][]float64{}
+	for _, b := range benchOrder {
+		batchNorm[b] = baNorm
+	}
+	corr, err := core.CorrelateExecBatch(benchOrder, trSweep, execNorm, batchNorm)
+	if err != nil {
+		return err
+	}
+	f := scatterFigure("Fig 15: correlation between execution-driven and baseline batch model",
+		"GEMS-substitute normalized runtime", "batch model normalized runtime", corr)
+	f.Note("correlation coefficient = %.4f +/- %.4f, rank %.4f (paper: 0.829)", corr.Coefficient, corr.CI95, corr.Rank)
+	return c.writeFigure("fig15", f)
+}
+
+func scatterFigure(title, xl, yl string, corr core.Correlation) *stats.Figure {
+	f := stats.NewFigure(title, xl, yl)
+	byGroup := map[string]*stats.Series{}
+	for _, pt := range corr.Pairs {
+		s := byGroup[pt.Group]
+		if s == nil {
+			s = f.AddSeries(pt.Group)
+			byGroup[pt.Group] = s
+		}
+		s.Add(pt.X, pt.Y)
+	}
+	return f
+}
+
+// fig16 evaluates the NAR-enhanced injection model.
+func fig16(c *ctx) error {
+	b := c.scale(300, 1000)
+	nars := []float64{0.04, 0.12, 0.2, 0.28, 0.36, 1}
+	trs := []int64{1, 2, 4}
+	for _, m := range []int{1, 4, 16} {
+		f := stats.NewFigure(
+			fmt.Sprintf("Fig 16 (m=%d): batch model with enhanced injection model", m),
+			"network access rate (NAR)", "normalized runtime / achieved throughput")
+		type cell struct {
+			T     float64
+			theta float64
+		}
+		cells := make([]cell, len(trs)*len(nars))
+		if err := core.Parallel(len(cells), 0, func(idx int) error {
+			ti, ni := idx/len(nars), idx%len(nars)
+			p := core.Baseline()
+			p.RouterDelay = trs[ti]
+			res, err := core.Batch(p, core.BatchParams{B: b, M: m, NAR: nars[ni]})
+			if err != nil {
+				return err
+			}
+			cells[idx] = cell{T: float64(res.Runtime), theta: res.Throughput}
+			return nil
+		}); err != nil {
+			return err
+		}
+		baseT := cells[len(nars)-1].T // tr=1, NAR=1
+		for ti, tr := range trs {
+			st := f.AddSeries(fmt.Sprintf("tr=%d (T)", tr))
+			sth := f.AddSeries(fmt.Sprintf("tr=%d (theta)", tr))
+			for ni, nar := range nars {
+				st.Add(nar, cells[ti*len(nars)+ni].T)
+				sth.Add(nar, cells[ti*len(nars)+ni].theta)
+			}
+		}
+		for _, s := range f.Series {
+			if strings.Contains(s.Name, "(T)") && baseT > 0 {
+				for i := range s.Ys {
+					s.Ys[i] /= baseT
+				}
+			}
+		}
+		f.Note("low NAR hides router-delay differences even at large m (paper SIV-C1)")
+		if err := c.writeFigure(fmt.Sprintf("fig16m%d", m), f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig17 evaluates the reply-latency models.
+func fig17(c *ctx) error {
+	b := c.scale(300, 1000)
+	models := []struct {
+		suffix string
+		title  string
+		reply  closedloop.ReplyModel
+	}{
+		{"a", "memory latency = 20", closedloop.FixedReply{Latency: 20}},
+		{"b", "memory latency = 50", closedloop.FixedReply{Latency: 50}},
+		{"c", "memory latency = 20 + 0.1*300", closedloop.ProbabilisticReply{L2Latency: 20, MemoryLatency: 300, MissRate: 0.1}},
+	}
+	for _, mconf := range models {
+		f := stats.NewFigure(
+			fmt.Sprintf("Fig 17%s: batch model with enhanced reply model (%s)", mconf.suffix, mconf.title),
+			"max outstanding requests (m)", "normalized runtime / achieved throughput")
+		trs := []int64{1, 2, 4}
+		var variants []core.NetworkParams
+		for _, tr := range trs {
+			p := core.Baseline()
+			p.RouterDelay = tr
+			variants = append(variants, p)
+		}
+		grid, err := core.BatchGrid(variants, batchMs, core.BatchParams{B: b, Reply: mconf.reply})
+		if err != nil {
+			return err
+		}
+		baseT := float64(grid[0][0].Runtime) // tr=1, m=1
+		for vi, tr := range trs {
+			st := f.AddSeries(fmt.Sprintf("tr=%d (T)", tr))
+			sth := f.AddSeries(fmt.Sprintf("tr=%d (theta)", tr))
+			for mi, m := range batchMs {
+				st.Add(float64(m), float64(grid[vi][mi].Runtime))
+				sth.Add(float64(m), grid[vi][mi].Throughput)
+			}
+		}
+		for _, s := range f.Series {
+			if strings.Contains(s.Name, "(T)") && baseT > 0 {
+				for i := range s.Ys {
+					s.Ys[i] /= baseT
+				}
+			}
+		}
+		f.Note("memory latency dominates remote access: router delay impact shrinks (SIV-C2)")
+		if err := c.writeFigure("fig17"+mconf.suffix, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// enhancedBatchNorms computes normalized batch runtimes per benchmark for
+// each enhanced variant, using characterization-derived parameters.
+func enhancedBatchNorms(c *ctx, variants []core.Variant, clock workload.Clock, timer bool) (map[core.Variant]map[string][]float64, map[string]*core.BenchmarkModel, error) {
+	models := map[string]*core.BenchmarkModel{}
+	for _, bench := range benchOrder {
+		m, err := core.Characterize(bench, clock, 7)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !timer {
+			m.TimerPeriod = 0
+			m.TimerBatch = 0
+		}
+		models[bench] = m
+	}
+	b := c.scale(300, 1000)
+	out := map[core.Variant]map[string][]float64{}
+	for _, v := range variants {
+		out[v] = map[string][]float64{}
+		for _, bench := range benchOrder {
+			bp := models[bench].BatchParams(b, 1, v)
+			norm, err := core.BatchSweep(trSweep, bp)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s %s: %w", v, bench, err)
+			}
+			out[v][bench] = norm
+		}
+	}
+	return out, models, nil
+}
+
+// fig18 compares execution-driven runtimes with the enhanced batch models.
+func fig18(c *ctx) error {
+	execNorm, err := execNormalizedRuntimes(core.ExecParams{Seed: 7})
+	if err != nil {
+		return err
+	}
+	variants := []core.Variant{core.BAInj, core.BARe, core.BAInjRe}
+	batch, _, err := enhancedBatchNorms(c, variants, workload.Clock3GHz, false)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("Fig 18: normalized runtime, execution-driven vs enhanced batch models",
+		"benchmark", "model", "tr=1", "tr=2", "tr=4", "tr=8")
+	for _, bench := range benchOrder {
+		row := func(label string, xs []float64) {
+			cells := []string{bench, label}
+			for _, x := range xs {
+				cells = append(cells, fmt.Sprintf("%.3f", x))
+			}
+			t.AddRow(cells...)
+		}
+		row("exec", execNorm[bench])
+		for _, v := range variants {
+			row(v.String(), batch[v][bench])
+		}
+	}
+	return c.writeTable("fig18", t)
+}
+
+// fig19 computes the enhanced-model correlations.
+func fig19(c *ctx) error {
+	execNorm, err := execNormalizedRuntimes(core.ExecParams{Seed: 7})
+	if err != nil {
+		return err
+	}
+	variants := []core.Variant{core.BAInj, core.BARe, core.BAInjRe}
+	batch, _, err := enhancedBatchNorms(c, variants, workload.Clock3GHz, false)
+	if err != nil {
+		return err
+	}
+	f := stats.NewFigure("Fig 19: correlation between execution-driven and enhanced batch models",
+		"GEMS-substitute normalized runtime", "batch model normalized runtime")
+	for _, v := range variants {
+		corr, err := core.CorrelateExecBatch(benchOrder, trSweep, execNorm, batch[v])
+		if err != nil {
+			return err
+		}
+		s := f.AddSeries(v.String())
+		for _, pt := range corr.Pairs {
+			s.Add(pt.X, pt.Y)
+		}
+		f.Note("%s correlation coefficient = %.4f +/- %.4f (rank %.4f)", v, corr.Coefficient, corr.CI95, corr.Rank)
+	}
+	f.Note("paper: enhanced models beat BA (0.829) but BA_inj+re alone underperforms until OS traffic is modelled (SIV-D)")
+	return c.writeFigure("fig19", f)
+}
+
+// fig20 measures the kernel/user injection-rate split across clocks.
+func fig20(c *ctx) error {
+	f := stats.NewFigure("Fig 20: network injection rate split user/kernel (timer enabled)",
+		"configuration index", "flits/cycle/node")
+	t := stats.NewTable("Fig 20: injection rate of benchmarks as router delay varies",
+		"clock", "benchmark", "tr", "user (flits/cycle/node)", "kernel", "kernel share", "timer interrupts")
+	idx := 0.0
+	for _, clock := range []workload.Clock{workload.Clock75MHz, workload.Clock3GHz} {
+		su := f.AddSeries("user " + clock.String())
+		sk := f.AddSeries("kernel " + clock.String())
+		for _, bench := range benchOrder {
+			for _, tr := range trSweep {
+				res, err := core.Exec(core.Table2Network(tr), core.ExecParams{
+					Benchmark: bench, Clock: clock, Timer: true, Seed: 7,
+				})
+				if err != nil {
+					return err
+				}
+				su.Add(idx, res.UserNAR)
+				sk.Add(idx, res.KernelNAR)
+				t.AddRow(clock.String(), bench, fmt.Sprintf("%d", tr),
+					fmt.Sprintf("%.4f", res.UserNAR), fmt.Sprintf("%.4f", res.KernelNAR),
+					fmt.Sprintf("%.2f", float64(res.KernelFlits)/float64(res.TotalFlits)),
+					fmt.Sprintf("%d", res.TimerInterrupts))
+				idx++
+			}
+		}
+	}
+	f.Note("kernel share is much larger at 75MHz: timer interval is wall-clock fixed (SV)")
+	if err := c.writeFigure("fig20", f); err != nil {
+		return err
+	}
+	return c.writeTable("fig20_table", t)
+}
+
+// fig21 records the injection-rate timeline of blackscholes at both clocks.
+func fig21(c *ctx) error {
+	for _, clock := range []workload.Clock{workload.Clock75MHz, workload.Clock3GHz} {
+		res, err := core.Exec(core.Table2Network(1), core.ExecParams{
+			Benchmark:      "blackscholes",
+			Clock:          clock,
+			Timer:          true,
+			SampleInterval: 1000,
+			Seed:           7,
+		})
+		if err != nil {
+			return err
+		}
+		f := stats.NewFigure(
+			fmt.Sprintf("Fig 21 (%s): injection rate of blackscholes over time", clock),
+			"time (cycles)", "flits/cycle (16 cores)")
+		su := f.AddSeries("user")
+		sk := f.AddSeries("kernel")
+		for _, s := range res.Timeline {
+			su.Add(float64(s.Cycle), s.UserRate*16/16) // total over 16 cores
+			sk.Add(float64(s.Cycle), s.KernelRate)
+		}
+		f.Note("timer interrupts = %d; kernel bursts at start/end are thread create/join syscalls", res.TimerInterrupts)
+		if err := c.writeFigure("fig21"+clock.String(), f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig22 correlates the fully enhanced batch model with and without the OS
+// model against timer-enabled execution-driven runs at both clocks.
+func fig22(c *ctx) error {
+	f := stats.NewFigure("Fig 22: correlation with/without OS modelling",
+		"GEMS-substitute normalized runtime", "batch model normalized runtime")
+	for _, clock := range []workload.Clock{workload.Clock75MHz, workload.Clock3GHz} {
+		execNorm, err := execNormalizedRuntimes(core.ExecParams{Clock: clock, Timer: true, Seed: 7})
+		if err != nil {
+			return err
+		}
+		withoutOS, _, err := enhancedBatchNorms(c, []core.Variant{core.BAInjRe}, clock, true)
+		if err != nil {
+			return err
+		}
+		withOS, _, err := enhancedBatchNorms(c, []core.Variant{core.BAInjReOS}, clock, true)
+		if err != nil {
+			return err
+		}
+		cw, err := core.CorrelateExecBatch(benchOrder, trSweep, execNorm, withoutOS[core.BAInjRe])
+		if err != nil {
+			return err
+		}
+		co, err := core.CorrelateExecBatch(benchOrder, trSweep, execNorm, withOS[core.BAInjReOS])
+		if err != nil {
+			return err
+		}
+		s := f.AddSeries(clock.String() + " with OS model")
+		for _, pt := range co.Pairs {
+			s.Add(pt.X, pt.Y)
+		}
+		f.Note("%s: without OS model r = %.4f +/- %.4f, with OS model r = %.4f +/- %.4f", clock, cw.Coefficient, cw.CI95, co.Coefficient, co.CI95)
+	}
+	f.Note("paper: 3GHz 0.9541 -> 0.9724; 75MHz 0.7052 -> 0.9311")
+	return c.writeFigure("fig22", f)
+}
+
+// table1 dumps the Table I network parameter space with baselines.
+func table1(c *ctx) error {
+	t := stats.NewTable("Table I: simulation parameters (bold = baseline)",
+		"parameter", "values", "baseline")
+	t.AddRow("topology", "8x8 2D mesh, 16x16 2D mesh, torus, ring", "8x8 2D mesh")
+	t.AddRow("virtual channels", "2, 4", "2")
+	t.AddRow("VC buffer size", "1, 2, 4, 8, 16, 32", "16")
+	t.AddRow("router delay (cycles)", "1, 2, 4, 8", "1")
+	t.AddRow("routing algorithm", "DOR, VAL, MA, ROMM", "DOR")
+	t.AddRow("arbitration", "round robin, age-based", "round robin")
+	t.AddRow("link delay", "1 cycle (2 on folded torus)", "1")
+	t.AddRow("link bandwidth", "1 flit/cycle", "1 flit/cycle")
+	t.AddRow("packet sizes", "1 flit, bimodal (1 and 4 flit)", "1 flit")
+	t.AddRow("traffic patterns", "uniform, bit reversal, bit complement, transpose", "uniform")
+	return c.writeTable("table1", t)
+}
+
+// table2 dumps the Table II CMP parameters used by the GEMS substitute.
+func table2(c *ctx) error {
+	t := stats.NewTable("Table II: execution-driven CMP parameters",
+		"component", "configuration")
+	t.AddRow("processor", "16 in-order cores, blocking loads, 8-entry store buffer")
+	t.AddRow("L1 caches", "private, 32 KB 4-way, 64-byte lines, 2-cycle access")
+	t.AddRow("L2 cache", "shared, 512 KB/tile (8 MB total), 10-cycle access, MSI directory")
+	t.AddRow("memory", "300-cycle DRAM access")
+	t.AddRow("network", "4-ary 2-cube mesh, 16-byte links, 1/2/4/8 router delay, 8 VCs, 4 buffers/VC, DOR")
+	return c.writeTable("table2", t)
+}
+
+// table3 reproduces the NAR calculation per benchmark (3 GHz, no timer).
+func table3(c *ctx) error {
+	t := stats.NewTable("Table III: GEMS-substitute calculation of NAR",
+		"benchmark", "ideal cycle count", "total flits", "NAR (req/cycle/node)", "L2 miss rate")
+	for _, bench := range benchOrder {
+		m, err := core.Characterize(bench, workload.Clock3GHz, 7)
+		if err != nil {
+			return err
+		}
+		t.AddRow(bench,
+			fmt.Sprintf("%d", m.IdealCycles),
+			fmt.Sprintf("%d", m.TotalFlits),
+			fmt.Sprintf("%.4f", m.NAR),
+			fmt.Sprintf("%.3f", m.L2Miss))
+	}
+	return c.writeTable("table3", t)
+}
+
+// table4 reproduces the benchmark characteristics used by the OS model.
+func table4(c *ctx) error {
+	t := stats.NewTable("Table IV: characteristics of benchmarks (75 MHz, timer enabled)",
+		"benchmark", "NAR user", "NAR OS", "L2 miss user", "L2 miss OS",
+		"static kernel traffic", "timer period (cycles)", "timer batch")
+	for _, bench := range benchOrder {
+		m, err := core.Characterize(bench, workload.Clock75MHz, 7)
+		if err != nil {
+			return err
+		}
+		t.AddRow(bench,
+			fmt.Sprintf("%.4f", m.UserNAR),
+			fmt.Sprintf("%.4f", m.KernelNAR),
+			fmt.Sprintf("%.3f", m.L2Miss),
+			fmt.Sprintf("%.3f", m.KernelL2Miss),
+			fmt.Sprintf("%.3f", m.StaticKernelFrac),
+			fmt.Sprintf("%d", m.TimerPeriod),
+			fmt.Sprintf("%d", m.TimerBatch))
+	}
+	return c.writeTable("table4", t)
+}

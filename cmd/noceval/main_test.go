@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"noceval/internal/closedloop"
+	"noceval/internal/workload"
+)
+
+func TestParseReply(t *testing.T) {
+	m, err := parseReply("")
+	if err != nil || m != nil {
+		t.Errorf("empty spec: %v, %v", m, err)
+	}
+	m, err = parseReply("fixed:25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := m.(closedloop.FixedReply); !ok || f.Latency != 25 {
+		t.Errorf("fixed spec parsed to %#v", m)
+	}
+	m, err = parseReply("prob:20:300:0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := m.(closedloop.ProbabilisticReply); !ok || p.L2Latency != 20 || p.MemoryLatency != 300 || p.MissRate != 0.1 {
+		t.Errorf("prob spec parsed to %#v", m)
+	}
+	for _, bad := range []string{"fixed", "fixed:x", "prob:1:2", "prob:a:b:c", "magic:1"} {
+		if _, err := parseReply(bad); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+}
+
+func TestParseClock(t *testing.T) {
+	for s, want := range map[string]workload.Clock{
+		"":      workload.Clock3GHz,
+		"3ghz":  workload.Clock3GHz,
+		"3GHz":  workload.Clock3GHz,
+		"75mhz": workload.Clock75MHz,
+		"75MHz": workload.Clock75MHz,
+	} {
+		got, err := parseClock(s)
+		if err != nil || got != want {
+			t.Errorf("parseClock(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseClock("1thz"); err == nil {
+		t.Error("bad clock accepted")
+	}
+}

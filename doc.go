@@ -1,0 +1,18 @@
+// Package noceval is an on-chip network evaluation framework: a Go
+// reproduction of "On-Chip Network Evaluation Framework" (Kim, Heo, Lee,
+// Huh, Kim — SC 2010).
+//
+// The library lives under internal/: a cycle-accurate VC-router network
+// simulator (internal/router, internal/network) with the Table I parameter
+// space (internal/topology, internal/routing, internal/traffic), the
+// open-loop and closed-loop measurement methodologies (internal/openloop,
+// internal/closedloop), a trace-driven replay engine (internal/trace), an
+// execution-driven CMP simulator standing in for Simics/GEMS+Garnet
+// (internal/cmp, internal/workload), and the evaluation framework tying
+// them together (internal/core).
+//
+// Executables: cmd/noceval runs single experiments; cmd/figures
+// regenerates every table and figure of the paper. Runnable examples live
+// under examples/. The root-level benchmarks (bench_test.go) provide one
+// testing.B entry per paper table/figure.
+package noceval

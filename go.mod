@@ -1,0 +1,3 @@
+module noceval
+
+go 1.22

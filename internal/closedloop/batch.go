@@ -1,0 +1,361 @@
+package closedloop
+
+import (
+	"container/heap"
+	"fmt"
+
+	"noceval/internal/network"
+	"noceval/internal/router"
+	"noceval/internal/sim"
+	"noceval/internal/stats"
+	"noceval/internal/traffic"
+)
+
+// KernelConfig models operating-system traffic (§V). Syscall/trap traffic is
+// independent of runtime and is added to every node's batch statically;
+// timer-interrupt traffic is proportional to runtime and is added while a
+// node is still working, once per timer period.
+type KernelConfig struct {
+	// StaticFraction adds ceil(StaticFraction*B) kernel transactions to
+	// each node's batch before the run starts (thread creation, syscalls).
+	StaticFraction float64
+	// TimerPeriod is the cycle interval between timer interrupts
+	// (1/Rtimer); zero or negative disables the timer.
+	TimerPeriod int64
+	// TimerBatch is the number of kernel transactions each interrupt adds
+	// to every still-running node.
+	TimerBatch int
+	// KernelNAR throttles kernel request injection; zero means "use the
+	// same NAR as user traffic".
+	KernelNAR float64
+}
+
+// BatchConfig describes one batch-model run.
+type BatchConfig struct {
+	Net     network.Config
+	Pattern traffic.Pattern
+
+	// B is the batch size b: remote operations each node must complete.
+	B int
+	// M is the maximum outstanding requests per node (the MSHR limit m).
+	M int
+
+	// ReqSize and ReplySize are packet lengths in flits (default 1 and 1,
+	// matching the paper's throughput definition θ = b*2/T).
+	ReqSize, ReplySize int
+
+	// NAR is the network access rate of the enhanced injection model
+	// (§IV-C1): the probability per cycle that a node with pf < m actually
+	// injects. Values <= 0 or >= 1 reproduce the baseline model.
+	NAR float64
+
+	// Reply models the latency before a reply is injected (§IV-C2).
+	// Nil means ImmediateReply.
+	Reply ReplyModel
+
+	// Kernel, when non-nil, enables the OS-traffic model (§V).
+	Kernel *KernelConfig
+
+	// MaxCycles aborts a run that fails to complete (default 50M).
+	MaxCycles int64
+	Seed      uint64
+
+	// SampleInterval, when positive, records the injection-rate timeline
+	// in buckets of this many cycles (Fig 21).
+	SampleInterval int64
+	// CollectMatrix, when true, accumulates the source/destination flit
+	// matrix (Fig 13).
+	CollectMatrix bool
+}
+
+func (c *BatchConfig) fillDefaults() {
+	if c.ReqSize == 0 {
+		c.ReqSize = 1
+	}
+	if c.ReplySize == 0 {
+		c.ReplySize = 1
+	}
+	if c.Reply == nil {
+		c.Reply = ImmediateReply{}
+	}
+	if c.Pattern == nil {
+		c.Pattern = traffic.Uniform{}
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 50_000_000
+	}
+}
+
+// TimelineSample is one bucket of the injection-rate timeline.
+type TimelineSample struct {
+	Cycle      int64   // bucket start
+	UserRate   float64 // user flits/cycle summed over all nodes
+	KernelRate float64 // kernel flits/cycle summed over all nodes
+}
+
+// BatchResult summarizes one batch-model run.
+type BatchResult struct {
+	// Runtime is T: the cycle at which the last node finished its batch.
+	Runtime int64
+	// Completed is false when MaxCycles elapsed first.
+	Completed bool
+
+	// NodeFinish is the per-node completion time (Fig 7).
+	NodeFinish []int64
+
+	// Throughput is the achieved throughput θ in flits/cycle/node computed
+	// from the runtime over all injected flits.
+	Throughput float64
+	// ReqThroughput is the paper's θ = (b*2)/T definition (transactions,
+	// counting request+reply, per cycle per node).
+	ReqThroughput float64
+
+	TotalPackets  int64
+	KernelPackets int64
+	TotalFlits    int64
+	KernelFlits   int64
+
+	AvgPacketLatency float64
+
+	Timeline []TimelineSample
+	Matrix   *stats.Heatmap
+}
+
+// replyEvent is a scheduled reply injection.
+type replyEvent struct {
+	ready  int64
+	from   int // responder (request destination)
+	to     int // requester
+	size   int
+	kernel bool
+}
+
+// replyHeap is a min-heap of replyEvents ordered by ready time.
+type replyHeap []replyEvent
+
+func (h replyHeap) Len() int           { return len(h) }
+func (h replyHeap) Less(i, j int) bool { return h[i].ready < h[j].ready }
+func (h replyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *replyHeap) Push(x any)        { *h = append(*h, x.(replyEvent)) }
+func (h *replyHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// nodeState tracks one terminal's progress through its batch.
+type nodeState struct {
+	target       int // transactions to complete (grows with timer traffic)
+	kernelTarget int // how many of target are kernel transactions
+	sentUser     int
+	sentKernel   int
+	done         int
+	pf           int // requests in flight (outstanding, the paper's pf)
+	finish       int64
+	finished     bool
+}
+
+// auxKernel marks kernel-class transactions in Packet.Aux.
+const auxKernel = 1
+
+// RunBatch executes one batch-model simulation.
+func RunBatch(cfg BatchConfig) (*BatchResult, error) {
+	cfg.fillDefaults()
+	if cfg.B < 1 {
+		return nil, fmt.Errorf("closedloop: batch size B must be >= 1, got %d", cfg.B)
+	}
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("closedloop: outstanding limit M must be >= 1, got %d", cfg.M)
+	}
+	if err := cfg.Net.Validate(); err != nil {
+		return nil, err
+	}
+
+	net := network.New(cfg.Net)
+	n := net.Nodes()
+	rng := sim.NewRNG(cfg.Seed ^ 0xb5297a4d3f84d5b5)
+	replyRNG := rng.Split()
+
+	nodes := make([]nodeState, n)
+	staticKernel := 0
+	if cfg.Kernel != nil && cfg.Kernel.StaticFraction > 0 {
+		staticKernel = int(cfg.Kernel.StaticFraction*float64(cfg.B) + 0.999999)
+	}
+	for i := range nodes {
+		nodes[i].target = cfg.B + staticKernel
+		nodes[i].kernelTarget = staticKernel
+	}
+
+	var timer *sim.Ticker
+	if cfg.Kernel != nil && cfg.Kernel.TimerPeriod > 0 && cfg.Kernel.TimerBatch > 0 {
+		timer = sim.NewTicker(cfg.Kernel.TimerPeriod, cfg.Kernel.TimerPeriod)
+	}
+
+	res := &BatchResult{NodeFinish: make([]int64, n)}
+	if cfg.CollectMatrix {
+		res.Matrix = stats.NewHeatmap(n, n)
+	}
+
+	replies := &replyHeap{}
+	var latencySum float64
+	var latencyCnt int64
+	var bucketUser, bucketKernel int64
+	bucketStart := int64(0)
+
+	countInjection := func(p *router.Packet) {
+		res.TotalPackets++
+		res.TotalFlits += int64(p.Size)
+		if p.Aux&auxKernel != 0 {
+			res.KernelPackets++
+			res.KernelFlits += int64(p.Size)
+			bucketKernel += int64(p.Size)
+		} else {
+			bucketUser += int64(p.Size)
+		}
+		if res.Matrix != nil {
+			res.Matrix.Addf(p.Src, p.Dst, float64(p.Size))
+		}
+	}
+
+	net.OnReceive = func(now int64, p *router.Packet) {
+		latencySum += float64(p.Latency())
+		latencyCnt++
+		switch p.Kind {
+		case router.KindRequest:
+			// Schedule the reply after the memory-model delay.
+			heap.Push(replies, replyEvent{
+				ready:  now + cfg.Reply.Delay(replyRNG),
+				from:   p.Dst,
+				to:     p.Src,
+				size:   cfg.ReplySize,
+				kernel: p.Aux&auxKernel != 0,
+			})
+		case router.KindReply:
+			st := &nodes[p.Dst]
+			st.pf--
+			st.done++
+			if !st.finished && st.done >= st.target {
+				st.finished = true
+				st.finish = now
+			}
+		}
+	}
+
+	finishedNodes := func() int {
+		c := 0
+		for i := range nodes {
+			if nodes[i].finished {
+				c++
+			}
+		}
+		return c
+	}
+
+	userNAR := cfg.NAR
+	if userNAR <= 0 || userNAR > 1 {
+		userNAR = 1
+	}
+	kernelNAR := userNAR
+	if cfg.Kernel != nil && cfg.Kernel.KernelNAR > 0 {
+		kernelNAR = cfg.Kernel.KernelNAR
+	}
+
+	sendRequest := func(node int, kernel bool) {
+		dst := cfg.Pattern.Dest(rng, node, n)
+		p := net.NewPacket(node, dst, cfg.ReqSize, router.KindRequest)
+		if kernel {
+			p.Aux = auxKernel
+		}
+		net.Send(p)
+		countInjection(p)
+		nodes[node].pf++
+	}
+
+	for {
+		now := net.Now()
+		if now >= cfg.MaxCycles {
+			break
+		}
+		// Timer interrupts add kernel work to unfinished nodes.
+		if timer != nil && timer.Fire(now) {
+			for i := range nodes {
+				if !nodes[i].finished {
+					nodes[i].target += cfg.Kernel.TimerBatch
+					nodes[i].kernelTarget += cfg.Kernel.TimerBatch
+				}
+			}
+		}
+		// Inject ready replies.
+		for replies.Len() > 0 && (*replies)[0].ready <= now {
+			ev := heap.Pop(replies).(replyEvent)
+			p := net.NewPacket(ev.from, ev.to, ev.size, router.KindReply)
+			if ev.kernel {
+				p.Aux = auxKernel
+			}
+			net.Send(p)
+			countInjection(p)
+		}
+		// Generate requests: kernel work preempts user work, at most one
+		// new request per node per cycle, subject to the MSHR limit and
+		// the injection-model throttle.
+		for i := range nodes {
+			st := &nodes[i]
+			if st.finished || st.pf >= cfg.M {
+				continue
+			}
+			kernelRemaining := st.kernelTarget - st.sentKernel
+			userRemaining := (st.target - st.kernelTarget) - st.sentUser
+			switch {
+			case kernelRemaining > 0:
+				if rng.Bernoulli(kernelNAR) {
+					sendRequest(i, true)
+					st.sentKernel++
+				}
+			case userRemaining > 0:
+				if rng.Bernoulli(userNAR) {
+					sendRequest(i, false)
+					st.sentUser++
+				}
+			}
+		}
+		// Timeline bucketing.
+		if cfg.SampleInterval > 0 && now-bucketStart >= cfg.SampleInterval {
+			res.Timeline = append(res.Timeline, TimelineSample{
+				Cycle:      bucketStart,
+				UserRate:   float64(bucketUser) / float64(now-bucketStart),
+				KernelRate: float64(bucketKernel) / float64(now-bucketStart),
+			})
+			bucketUser, bucketKernel = 0, 0
+			bucketStart = now
+		}
+
+		net.Step()
+
+		if finishedNodes() == n {
+			res.Completed = true
+			break
+		}
+	}
+
+	if cfg.SampleInterval > 0 && net.Now() > bucketStart {
+		res.Timeline = append(res.Timeline, TimelineSample{
+			Cycle:      bucketStart,
+			UserRate:   float64(bucketUser) / float64(net.Now()-bucketStart),
+			KernelRate: float64(bucketKernel) / float64(net.Now()-bucketStart),
+		})
+	}
+
+	for i := range nodes {
+		res.NodeFinish[i] = nodes[i].finish
+		if !nodes[i].finished {
+			res.NodeFinish[i] = net.Now()
+		}
+		if res.NodeFinish[i] > res.Runtime {
+			res.Runtime = res.NodeFinish[i]
+		}
+	}
+	if res.Runtime > 0 {
+		res.Throughput = float64(res.TotalFlits) / float64(res.Runtime) / float64(n)
+		res.ReqThroughput = float64(2*cfg.B) / float64(res.Runtime)
+	}
+	if latencyCnt > 0 {
+		res.AvgPacketLatency = latencySum / float64(latencyCnt)
+	}
+	return res, nil
+}

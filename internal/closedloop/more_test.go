@@ -1,0 +1,181 @@
+package closedloop
+
+import (
+	"testing"
+	"testing/quick"
+
+	"noceval/internal/sim"
+)
+
+func TestNAROneEqualsBaseline(t *testing.T) {
+	base, err := RunBatch(BatchConfig{Net: smallMeshConfig(), B: 100, M: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := RunBatch(BatchConfig{Net: smallMeshConfig(), B: 100, M: 2, NAR: 1, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Runtime != one.Runtime || base.TotalPackets != one.TotalPackets {
+		t.Errorf("NAR=1 differs from baseline: %d vs %d cycles", one.Runtime, base.Runtime)
+	}
+}
+
+func TestBatchDeterminism(t *testing.T) {
+	run := func() *BatchResult {
+		res, err := RunBatch(BatchConfig{
+			Net: smallMeshConfig(), B: 150, M: 4, NAR: 0.5,
+			Reply: ProbabilisticReply{L2Latency: 10, MemoryLatency: 100, MissRate: 0.2},
+			Seed:  99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Runtime != b.Runtime || a.TotalFlits != b.TotalFlits {
+		t.Errorf("non-deterministic batch: %d/%d vs %d/%d", a.Runtime, a.TotalFlits, b.Runtime, b.TotalFlits)
+	}
+	for i := range a.NodeFinish {
+		if a.NodeFinish[i] != b.NodeFinish[i] {
+			t.Fatalf("node %d finish differs", i)
+		}
+	}
+}
+
+func TestBatchSeedsProduceDifferentRuns(t *testing.T) {
+	a, err := RunBatch(BatchConfig{Net: smallMeshConfig(), B: 150, M: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBatch(BatchConfig{Net: smallMeshConfig(), B: 150, M: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Runtime == b.Runtime {
+		t.Log("warning: different seeds produced identical runtime (possible but unlikely)")
+	}
+}
+
+func TestMultiFlitRequestsAndReplies(t *testing.T) {
+	res, err := RunBatch(BatchConfig{
+		Net: smallMeshConfig(), B: 50, M: 2,
+		ReqSize: 1, ReplySize: 5, // read requests with data replies
+		Seed: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	want := int64(16 * 50 * (1 + 5))
+	if res.TotalFlits != want {
+		t.Errorf("total flits = %d, want %d", res.TotalFlits, want)
+	}
+}
+
+func TestNodeFinishBoundedByRuntime(t *testing.T) {
+	err := quick.Check(func(seed uint64, mRaw uint8) bool {
+		m := int(mRaw)%8 + 1
+		res, err := RunBatch(BatchConfig{Net: smallMeshConfig(), B: 60, M: m, Seed: seed})
+		if err != nil || !res.Completed {
+			return false
+		}
+		max := int64(0)
+		for _, f := range res.NodeFinish {
+			if f <= 0 || f > res.Runtime {
+				return false
+			}
+			if f > max {
+				max = f
+			}
+		}
+		return max == res.Runtime
+	}, &quick.Config{MaxCount: 8})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticKernelFractionRounding(t *testing.T) {
+	// StaticFraction 0.101 with B=100 must add ceil(10.1) = 11 kernel
+	// transactions per node.
+	res, err := RunBatch(BatchConfig{
+		Net: smallMeshConfig(), B: 100, M: 2,
+		Kernel: &KernelConfig{StaticFraction: 0.101},
+		Seed:   23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(16 * 11 * 2); res.KernelPackets != want {
+		t.Errorf("kernel packets = %d, want %d (ceil rounding)", res.KernelPackets, want)
+	}
+}
+
+func TestReplyModelsSampleSanely(t *testing.T) {
+	rng := sim.NewRNG(7)
+	if (ImmediateReply{}).Delay(rng) != 0 {
+		t.Error("immediate reply delayed")
+	}
+	if (FixedReply{Latency: 42}).Delay(rng) != 42 {
+		t.Error("fixed reply wrong")
+	}
+	p := ProbabilisticReply{L2Latency: 20, MemoryLatency: 300, MissRate: 0.25}
+	sum := 0.0
+	for i := 0; i < 20000; i++ {
+		d := p.Delay(rng)
+		if d != 20 && d != 320 {
+			t.Fatalf("unexpected delay %d", d)
+		}
+		sum += float64(d)
+	}
+	mean := sum / 20000
+	if mean < 90 || mean > 100 {
+		t.Errorf("probabilistic mean = %.1f, want ~95", mean)
+	}
+}
+
+func TestReplyModelNames(t *testing.T) {
+	if (ImmediateReply{}).Name() != "immediate" {
+		t.Error("immediate name")
+	}
+	if (FixedReply{Latency: 20}).Name() != "fixed20" {
+		t.Error("fixed name")
+	}
+	if (ProbabilisticReply{L2Latency: 20, MemoryLatency: 300, MissRate: 0.1}).Name() == "" {
+		t.Error("probabilistic name empty")
+	}
+}
+
+func TestTimelineRatesAreConsistent(t *testing.T) {
+	res, err := RunBatch(BatchConfig{
+		Net: smallMeshConfig(), B: 200, M: 4,
+		SampleInterval: 50,
+		Seed:           24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Integrating the timeline recovers the total flit count (single-flit
+	// requests and replies, no kernel traffic).
+	var integrated float64
+	prev := int64(0)
+	for i, s := range res.Timeline {
+		span := int64(50)
+		if i == len(res.Timeline)-1 {
+			span = res.Runtime - s.Cycle
+		}
+		if s.Cycle < prev {
+			t.Fatal("timeline not monotonic")
+		}
+		prev = s.Cycle
+		integrated += (s.UserRate + s.KernelRate) * float64(span)
+	}
+	ratio := integrated / float64(res.TotalFlits)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("timeline integrates to %.2fx the flit total", ratio)
+	}
+}

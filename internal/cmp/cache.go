@@ -1,0 +1,202 @@
+// Package cmp implements the execution-driven chip-multiprocessor
+// simulator the framework is validated against (§IV-A): in-order cores
+// with blocking loads and a store buffer, private write-back L1 data
+// caches kept coherent by an MSI directory at the distributed shared L2
+// (one bank per tile, static address interleaving), a 300-cycle DRAM
+// model, and network interfaces that turn every coherence action into
+// flits on the cycle-accurate network.
+//
+// This package is the repository's stand-in for Simics/GEMS+Garnet: it is
+// not a full-system simulator, but it exercises the same closed loop —
+// real cache misses become request/reply/invalidation packets whose
+// latency stalls in-order cores — which is exactly the property the
+// paper's validation experiments depend on.
+package cmp
+
+import "fmt"
+
+// LineState is the MSI state of a cache line in an L1.
+type LineState uint8
+
+// MSI states.
+const (
+	Invalid LineState = iota
+	Shared
+	Modified
+)
+
+// String returns the state's single-letter name.
+func (s LineState) String() string {
+	switch s {
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	default:
+		return "I"
+	}
+}
+
+// line is one cache line's metadata. Data values are not modelled: the
+// synthetic workloads never read values, and coherence traffic depends only
+// on states.
+type line struct {
+	tag   uint64
+	state LineState
+	lru   uint64 // larger is more recent
+}
+
+// Cache is a set-associative cache with true-LRU replacement, tracking
+// line states but not data.
+type Cache struct {
+	sets     int
+	ways     int
+	lineBits uint
+	lines    []line // sets*ways, set-major
+	tick     uint64
+
+	Hits   int64
+	Misses int64
+}
+
+// NewCache builds a cache of the given total size with the given
+// associativity and line size (both byte counts); sizes must divide evenly
+// and the set count must be a power of two.
+func NewCache(sizeBytes, ways, lineBytes int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		panic("cmp: non-positive cache geometry")
+	}
+	nLines := sizeBytes / lineBytes
+	if nLines%ways != 0 {
+		panic(fmt.Sprintf("cmp: %d lines not divisible by %d ways", nLines, ways))
+	}
+	sets := nLines / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cmp: set count %d not a power of two", sets))
+	}
+	lb := uint(0)
+	for 1<<lb < lineBytes {
+		lb++
+	}
+	if 1<<lb != lineBytes {
+		panic(fmt.Sprintf("cmp: line size %d not a power of two", lineBytes))
+	}
+	return &Cache{
+		sets:     sets,
+		ways:     ways,
+		lineBits: lb,
+		lines:    make([]line, sets*ways),
+	}
+}
+
+// LineAddr converts a byte address to a line address (cache-line number).
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineBits }
+
+// setOf maps a line address to a set with XOR-folded (hashed) indexing, as
+// real shared caches do: without it, workload regions whose bases are
+// multiples of the set count alias into a handful of sets and conflict-miss
+// pathologically.
+func (c *Cache) setOf(lineAddr uint64) int {
+	h := lineAddr ^ lineAddr>>10 ^ lineAddr>>20 ^ lineAddr>>30 ^ lineAddr>>40
+	return int(h) & (c.sets - 1)
+}
+
+// Lookup returns the state of the line containing addr (a line address),
+// updating LRU and hit/miss counters. Invalid means miss.
+func (c *Cache) Lookup(lineAddr uint64) LineState {
+	set := c.setOf(lineAddr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.state != Invalid && l.tag == lineAddr {
+			c.tick++
+			l.lru = c.tick
+			c.Hits++
+			return l.state
+		}
+	}
+	c.Misses++
+	return Invalid
+}
+
+// Probe returns the state without touching LRU or counters (used by
+// coherence message handlers).
+func (c *Cache) Probe(lineAddr uint64) LineState {
+	set := c.setOf(lineAddr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.state != Invalid && l.tag == lineAddr {
+			return l.state
+		}
+	}
+	return Invalid
+}
+
+// SetState changes the state of a resident line; setting Invalid evicts
+// it. It is a no-op when the line is absent.
+func (c *Cache) SetState(lineAddr uint64, s LineState) {
+	set := c.setOf(lineAddr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.state != Invalid && l.tag == lineAddr {
+			l.state = s
+			return
+		}
+	}
+}
+
+// Victim describes a line displaced by Insert.
+type Victim struct {
+	LineAddr uint64
+	State    LineState // Invalid when no eviction happened
+}
+
+// Insert installs lineAddr with the given state, returning the displaced
+// victim (State Invalid if a free or same-tag way was used).
+func (c *Cache) Insert(lineAddr uint64, s LineState) Victim {
+	set := c.setOf(lineAddr)
+	base := set * c.ways
+	// Reuse the line if already resident.
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.state != Invalid && l.tag == lineAddr {
+			c.tick++
+			l.state, l.lru = s, c.tick
+			return Victim{}
+		}
+	}
+	// Free way?
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.state == Invalid {
+			c.tick++
+			*l = line{tag: lineAddr, state: s, lru: c.tick}
+			return Victim{}
+		}
+	}
+	// Evict LRU.
+	victim := base
+	for w := 1; w < c.ways; w++ {
+		if c.lines[base+w].lru < c.lines[victim].lru {
+			victim = base + w
+		}
+	}
+	v := Victim{LineAddr: c.lines[victim].tag, State: c.lines[victim].state}
+	c.tick++
+	c.lines[victim] = line{tag: lineAddr, state: s, lru: c.tick}
+	return v
+}
+
+// MissRate returns misses/(hits+misses), or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	t := c.Hits + c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(t)
+}
+
+// ResetStats clears the hit/miss counters.
+func (c *Cache) ResetStats() { c.Hits, c.Misses = 0, 0 }

@@ -1,0 +1,393 @@
+package cmp
+
+import "noceval/internal/sim"
+
+// OpKind enumerates dynamic instruction classes produced by workload
+// generators.
+type OpKind uint8
+
+// Instruction classes.
+const (
+	OpCompute OpKind = iota // N cycles of non-memory work
+	OpLoad                  // load from Addr (blocking on miss)
+	OpStore                 // store to Addr (buffered)
+	OpBarrier               // global barrier across all cores
+	OpSyscall               // trap into the kernel for N kernel instructions
+	OpDone                  // end of the stream (repeats forever)
+)
+
+// Op is one element of a core's dynamic instruction stream.
+type Op struct {
+	Kind OpKind
+	N    int64  // compute cycles or syscall kernel instructions
+	Addr uint64 // byte address for loads/stores
+}
+
+// Program supplies a core's instruction streams. NextUser returns OpDone
+// forever once the user thread finishes; NextKernel must never return
+// OpDone (kernel handlers are drawn from it on demand).
+type Program interface {
+	NextUser() Op
+	NextKernel() Op
+}
+
+// coreState is the core's micro state.
+type coreState uint8
+
+const (
+	coreRunning      coreState = iota
+	coreBlockedLoad            // stalled on a specific line's data
+	coreBlockedStore           // store buffer full
+	coreBlockedMLP             // load-miss budget exhausted, waiting for any return
+	coreAtBarrier
+	coreDone
+)
+
+// pendingTxn is an outstanding L1 miss transaction (an MSHR entry).
+type pendingTxn struct {
+	line    uint64
+	isStore bool
+	kernel  bool
+	// dropped is set when an Inv/Downgrade raced ahead of our grant: the
+	// data is used for the blocked op but the line is not installed.
+	dropped bool
+}
+
+// tile is one CMP tile: core, private L1D, store buffer and the L1-side
+// coherence controller. The shared-L2 bank of the tile lives in home.
+type tile struct {
+	sys *System
+	id  int
+	l1  *Cache
+	prg Program
+
+	state     coreState
+	countdown int64
+	curOp     Op
+	opKernel  bool // current op came from the kernel stream
+
+	// kernelPending counts kernel instructions that preempt the user
+	// stream (timer handlers, syscalls).
+	kernelPending int64
+
+	// loadTxns holds outstanding load-miss transactions keyed by line
+	// (bounded by Config.MaxLoadMLP); storeTxns holds the store buffer's
+	// outstanding GetM transactions keyed by line.
+	loadTxns  map[uint64]*pendingTxn
+	storeTxns map[uint64]*pendingTxn
+	storeBuf  []uint64 // lines with buffered stores, FIFO
+
+	// When state is coreBlockedLoad, the core waits for blockedLine;
+	// blockedOnStore records that the awaited transaction is a store's
+	// GetM (the load retries after it lands).
+	blockedLine    uint64
+	blockedOnStore bool
+
+	// rng drives the stall-on-use sampling of Config.LoadDepFrac.
+	rng *sim.RNG
+
+	userInsts   int64
+	kernelInsts int64
+	doneUser    bool
+
+	// L1 statistics split user/kernel.
+	l1Access [2]int64
+	l1Miss   [2]int64
+}
+
+func newTile(sys *System, id int, l1 *Cache, prg Program) *tile {
+	return &tile{
+		sys:       sys,
+		id:        id,
+		l1:        l1,
+		prg:       prg,
+		loadTxns:  map[uint64]*pendingTxn{},
+		storeTxns: map[uint64]*pendingTxn{},
+		rng:       sim.NewRNG(0x9e3779b97f4a7c15 ^ uint64(id+1)*0xbf58476d1ce4e5b9),
+	}
+}
+
+func (t *tile) cls() int {
+	if t.opKernel {
+		return 1
+	}
+	return 0
+}
+
+// fetch pulls the next op, letting pending kernel work preempt the user
+// stream.
+func (t *tile) fetch() {
+	if t.kernelPending > 0 {
+		op := t.prg.NextKernel()
+		t.opKernel = true
+		cost := int64(1)
+		if op.Kind == OpCompute && op.N > 1 {
+			cost = op.N
+		}
+		if cost > t.kernelPending {
+			cost = t.kernelPending
+			if op.Kind == OpCompute {
+				op.N = cost
+			}
+		}
+		t.kernelPending -= cost
+		t.kernelInsts += cost
+		t.begin(op)
+		return
+	}
+	op := t.prg.NextUser()
+	t.opKernel = false
+	switch op.Kind {
+	case OpDone:
+		t.doneUser = true
+		t.state = coreDone
+		return
+	case OpCompute:
+		t.userInsts += op.N
+	case OpSyscall:
+		t.userInsts++
+	default:
+		t.userInsts++
+	}
+	t.begin(op)
+}
+
+// begin starts executing an op.
+func (t *tile) begin(op Op) {
+	t.curOp = op
+	switch op.Kind {
+	case OpCompute:
+		t.countdown = op.N
+		if t.countdown < 1 {
+			t.countdown = 1
+		}
+	case OpLoad, OpStore:
+		t.countdown = t.sys.cfg.L1Latency
+	case OpBarrier:
+		t.state = coreAtBarrier
+		t.sys.enterBarrier(t.id)
+	case OpSyscall:
+		t.kernelPending += op.N
+		t.countdown = 1 // trap overhead
+	}
+}
+
+// step advances the core one cycle.
+func (t *tile) step() {
+	switch t.state {
+	case coreDone, coreAtBarrier, coreBlockedLoad, coreBlockedMLP:
+		return
+	case coreBlockedStore:
+		if len(t.storeBuf) < t.sys.cfg.StoreBufferSize {
+			t.state = coreRunning
+			t.bufferStore(t.l1.LineAddr(t.curOp.Addr))
+			t.fetch()
+		}
+		return
+	}
+	if t.countdown > 0 {
+		t.countdown--
+		if t.countdown > 0 {
+			return
+		}
+		// Op finished its fixed latency; resolve memory ops.
+		switch t.curOp.Kind {
+		case OpLoad:
+			if !t.resolveLoad() {
+				return // blocked
+			}
+		case OpStore:
+			if !t.resolveStore() {
+				return // blocked on full store buffer
+			}
+		}
+	}
+	t.fetch()
+}
+
+// mustStall samples the stall-on-use model: does the instruction stream
+// depend on this load's value right away?
+func (t *tile) mustStall() bool {
+	return t.rng.Bernoulli(t.sys.cfg.LoadDepFrac)
+}
+
+// blockOn stalls the core until the given line's transaction completes.
+func (t *tile) blockOn(lineAddr uint64, store bool) {
+	t.state = coreBlockedLoad
+	t.blockedLine = lineAddr
+	t.blockedOnStore = store
+}
+
+// resolveLoad completes a load after L1 access latency, returning false
+// when the core must block.
+func (t *tile) resolveLoad() bool {
+	lineAddr := t.l1.LineAddr(t.curOp.Addr)
+	c := t.cls()
+	t.l1Access[c]++
+	// A store transaction in flight for this line will install M; wait for
+	// it rather than issuing a redundant GetS.
+	if t.storeTxns[lineAddr] != nil {
+		t.l1Miss[c]++
+		t.blockOn(lineAddr, true)
+		return false
+	}
+	if t.l1.Lookup(lineAddr) != Invalid {
+		return true
+	}
+	t.l1Miss[c]++
+	// Hit-under-miss: the line is already being fetched by an earlier
+	// load; stall only if this instruction depends on it.
+	if t.loadTxns[lineAddr] != nil {
+		if t.mustStall() {
+			t.blockOn(lineAddr, false)
+			return false
+		}
+		return true
+	}
+	// New load miss: stall at issue when the MLP budget is exhausted.
+	if len(t.loadTxns) >= t.sys.cfg.MaxLoadMLP {
+		t.state = coreBlockedMLP
+		return false
+	}
+	t.loadTxns[lineAddr] = &pendingTxn{line: lineAddr, kernel: t.opKernel}
+	t.sys.send(t.id, t.sys.homeOf(lineAddr), Msg{Type: MsgGetS, Line: lineAddr, Node: t.id, Kernel: t.opKernel})
+	if t.mustStall() {
+		t.blockOn(lineAddr, false)
+		return false
+	}
+	return true // run ahead under the miss
+}
+
+// resolveStore completes a store after L1 access latency, returning false
+// when the store buffer is full.
+func (t *tile) resolveStore() bool {
+	lineAddr := t.l1.LineAddr(t.curOp.Addr)
+	c := t.cls()
+	t.l1Access[c]++
+	if t.l1.Lookup(lineAddr) == Modified {
+		return true // write hit
+	}
+	t.l1Miss[c]++
+	if len(t.storeBuf) >= t.sys.cfg.StoreBufferSize {
+		t.state = coreBlockedStore
+		return false
+	}
+	t.bufferStore(lineAddr)
+	return true
+}
+
+// bufferStore enqueues a store and issues its GetM if none is in flight.
+func (t *tile) bufferStore(lineAddr uint64) {
+	t.storeBuf = append(t.storeBuf, lineAddr)
+	if t.storeTxns[lineAddr] == nil {
+		txn := &pendingTxn{line: lineAddr, isStore: true, kernel: t.opKernel}
+		t.storeTxns[lineAddr] = txn
+		t.sys.send(t.id, t.sys.homeOf(lineAddr), Msg{Type: MsgGetM, Line: lineAddr, Node: t.id, Kernel: t.opKernel})
+	}
+}
+
+// drained reports whether the tile has no outstanding memory activity.
+func (t *tile) drained() bool {
+	return len(t.loadTxns) == 0 && len(t.storeBuf) == 0 && len(t.storeTxns) == 0
+}
+
+// handle processes a protocol message delivered to this tile's L1.
+func (t *tile) handle(m Msg, src int) {
+	switch m.Type {
+	case MsgData:
+		t.handleData(m)
+	case MsgInv:
+		t.handleProbe(m, true)
+	case MsgDowngrade:
+		t.handleProbe(m, false)
+	}
+}
+
+// handleData completes an outstanding transaction.
+func (t *tile) handleData(m Msg) {
+	if m.GrantM {
+		txn := t.storeTxns[m.Line]
+		if txn != nil {
+			delete(t.storeTxns, m.Line)
+			// Retire every buffered store to this line.
+			kept := t.storeBuf[:0]
+			for _, l := range t.storeBuf {
+				if l != m.Line {
+					kept = append(kept, l)
+				}
+			}
+			t.storeBuf = kept
+			if !txn.dropped {
+				t.install(m.Line, Modified)
+			}
+			// A load stalled on this store's line retries now; if the
+			// line was dropped by a racing Inv it simply re-misses.
+			if t.state == coreBlockedLoad && t.blockedOnStore && t.blockedLine == m.Line {
+				t.state = coreRunning
+				t.begin(t.curOp) // redo the L1 access
+			}
+			if t.state == coreBlockedStore {
+				t.state = coreRunning
+				t.bufferStore(t.l1.LineAddr(t.curOp.Addr))
+				t.fetch()
+			}
+			return
+		}
+	}
+	if txn := t.loadTxns[m.Line]; txn != nil && !txn.isStore {
+		// When a racing invalidation arrived first (dropped), we already
+		// acked without data; the load still completes with the granted
+		// data but the line is not installed.
+		if !txn.dropped {
+			st := Shared
+			if m.GrantM {
+				st = Modified
+			}
+			t.install(m.Line, st)
+		}
+		delete(t.loadTxns, m.Line)
+		switch {
+		case t.state == coreBlockedLoad && !t.blockedOnStore && t.blockedLine == m.Line:
+			// The stalled-on load's value arrived: the op is complete.
+			t.state = coreRunning
+			t.fetch()
+		case t.state == coreBlockedMLP:
+			// A miss slot freed up: retry the load that hit the budget.
+			t.state = coreRunning
+			t.begin(t.curOp)
+		}
+	}
+}
+
+// handleProbe services an Inv (inv=true) or Downgrade from the home.
+func (t *tile) handleProbe(m Msg, inv bool) {
+	homeTile := t.sys.homeOf(m.Line)
+	st := t.l1.Probe(m.Line)
+	// Mark racing transactions so the incoming grant is not installed.
+	if txn := t.storeTxns[m.Line]; txn != nil {
+		txn.dropped = true
+	}
+	if txn := t.loadTxns[m.Line]; txn != nil {
+		txn.dropped = true
+	}
+	switch st {
+	case Modified:
+		t.l1.SetState(m.Line, Invalid)
+		t.sys.send(t.id, homeTile, Msg{Type: MsgWBData, Line: m.Line, Node: t.id, Kernel: m.Kernel})
+	case Shared:
+		if inv {
+			t.l1.SetState(m.Line, Invalid)
+		}
+		t.sys.send(t.id, homeTile, Msg{Type: MsgInvAck, Line: m.Line, Node: t.id, Kernel: m.Kernel})
+	default:
+		t.sys.send(t.id, homeTile, Msg{Type: MsgInvAck, Line: m.Line, Node: t.id, Kernel: m.Kernel})
+	}
+}
+
+// install places a line into the L1, writing back a displaced M line.
+func (t *tile) install(lineAddr uint64, st LineState) {
+	v := t.l1.Insert(lineAddr, st)
+	if v.State == Modified {
+		t.sys.send(t.id, t.sys.homeOf(v.LineAddr), Msg{Type: MsgWriteback, Line: v.LineAddr, Node: t.id, Kernel: t.opKernel})
+	}
+}

@@ -1,0 +1,75 @@
+package cmp_test
+
+import (
+	"testing"
+
+	"noceval/internal/cmp"
+	"noceval/internal/workload"
+)
+
+// mlpConfig returns a Table II config with the given load MLP and
+// dependency fraction.
+func mlpConfig(mlp int, dep float64) cmp.Config {
+	cfg := cmp.DefaultConfig()
+	cfg.MaxLoadMLP = mlp
+	cfg.LoadDepFrac = dep
+	return cfg
+}
+
+func TestMLPDefaultMatchesBlockingLoads(t *testing.T) {
+	// MaxLoadMLP=1 with LoadDepFrac=1 must behave exactly like the
+	// original blocking-load core: same cycle counts.
+	p := shortProfile("canneal")
+	a := runSystem(t, p, cmp.NewIdealFabric(), cmp.DefaultConfig())
+	b := runSystem(t, p, cmp.NewIdealFabric(), mlpConfig(1, 1))
+	if a.Cycles != b.Cycles {
+		t.Errorf("default config (%d cycles) differs from explicit blocking config (%d)", a.Cycles, b.Cycles)
+	}
+}
+
+func TestHigherMLPSpeedsUpMemoryBoundRuns(t *testing.T) {
+	// fft streams through memory: overlapping its load misses must cut
+	// runtime substantially, like raising m in the batch model (§II-B1).
+	p := shortProfile("fft")
+	blocking := runSystem(t, p, table2Net(1, 40), mlpConfig(1, 1))
+	mlp4 := runSystem(t, p, table2Net(1, 40), mlpConfig(4, 0.3))
+	if mlp4.Cycles >= blocking.Cycles {
+		t.Errorf("MLP=4 (%d cycles) not faster than blocking (%d)", mlp4.Cycles, blocking.Cycles)
+	}
+}
+
+func TestMLPRaisesNetworkPressure(t *testing.T) {
+	// Overlapped misses raise the injection rate (NAR), which is exactly
+	// why the paper's m parameter changes which network wins.
+	p := shortProfile("canneal")
+	blocking := runSystem(t, p, cmp.NewIdealFabric(), mlpConfig(1, 1))
+	mlp8 := runSystem(t, p, cmp.NewIdealFabric(), mlpConfig(8, 0.2))
+	if mlp8.NAR <= blocking.NAR {
+		t.Errorf("MLP=8 NAR %.4f not above blocking NAR %.4f", mlp8.NAR, blocking.NAR)
+	}
+}
+
+func TestMLPRunsCompleteOnRealNetwork(t *testing.T) {
+	for _, mlp := range []int{2, 8} {
+		for _, dep := range []float64{0.1, 0.5} {
+			p := shortProfile("lu")
+			cfg := mlpConfig(mlp, dep)
+			cfg.TimerPeriod = p.TimerPeriod(workload.Clock75MHz)
+			cfg.TimerHandlerInsts = p.TimerHandlerInsts
+			res := runSystem(t, p, table2Net(2, 41), cfg)
+			if res.TotalFlits == 0 {
+				t.Errorf("mlp=%d dep=%.1f: no traffic", mlp, dep)
+			}
+		}
+	}
+}
+
+func TestMLPDeterminism(t *testing.T) {
+	p := shortProfile("barnes")
+	a := runSystem(t, p, table2Net(1, 42), mlpConfig(4, 0.3))
+	b := runSystem(t, p, table2Net(1, 42), mlpConfig(4, 0.3))
+	if a.Cycles != b.Cycles || a.TotalFlits != b.TotalFlits {
+		t.Errorf("non-deterministic MLP run: %d/%d vs %d/%d",
+			a.Cycles, a.TotalFlits, b.Cycles, b.TotalFlits)
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"noceval/internal/closedloop"
+	"noceval/internal/workload"
+)
+
+func TestBaselineMatchesTableI(t *testing.T) {
+	p := Baseline()
+	if p.Topology != "mesh8x8" || p.VCs != 2 || p.BufDepth != 16 ||
+		p.RouterDelay != 1 || p.Routing != "dor" || p.Arb != "rr" {
+		t.Errorf("baseline drifted from Table I: %+v", p)
+	}
+	cfg, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topo.N != 64 {
+		t.Errorf("baseline nodes = %d", cfg.Topo.N)
+	}
+}
+
+func TestBuildRejectsBadParams(t *testing.T) {
+	for _, mutate := range []func(*NetworkParams){
+		func(p *NetworkParams) { p.Topology = "blob" },
+		func(p *NetworkParams) { p.Routing = "zigzag" },
+		func(p *NetworkParams) { p.Arb = "coinflip" },
+		func(p *NetworkParams) { p.VCs = 0 },
+		func(p *NetworkParams) { p.Topology = "torus8x8"; p.Routing = "val"; p.VCs = 2 }, // needs 4 classes
+	} {
+		p := Baseline()
+		mutate(&p)
+		if _, err := p.Build(); err == nil {
+			t.Errorf("invalid params accepted: %+v", p)
+		}
+	}
+	p := Baseline()
+	p.Sizes = "trimodal"
+	if _, err := p.BuildSizes(); err == nil {
+		t.Error("bad size mix accepted")
+	}
+	p.Pattern = "nope"
+	if _, err := p.BuildPattern(); err == nil {
+		t.Error("bad pattern accepted")
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	s := Baseline().String()
+	for _, want := range []string{"mesh8x8", "dor", "tr=1", "q=16"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("label %q missing %q", s, want)
+		}
+	}
+}
+
+func TestOpenLoopAndBatchRunners(t *testing.T) {
+	p := Baseline()
+	ol, err := OpenLoop(p, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ol.Stable || ol.AvgLatency < 10 {
+		t.Errorf("open-loop runner: %+v", ol)
+	}
+	ba, err := Batch(p, BatchParams{B: 100, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ba.Completed {
+		t.Error("batch runner did not complete")
+	}
+	bar, err := Barrier(p, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bar.Completed {
+		t.Error("barrier runner did not complete")
+	}
+}
+
+func TestNormalizeGroup(t *testing.T) {
+	out, err := NormalizeGroup([]float64{5, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != 2 || out[2] != 4 {
+		t.Errorf("normalized = %v", out)
+	}
+	if _, err := NormalizeGroup([]float64{0, 1}); err == nil {
+		t.Error("zero baseline accepted")
+	}
+}
+
+func TestCorrelateOpenBatchRouterDelay(t *testing.T) {
+	// The paper's central result at small scale: across tr, batch and
+	// open-loop measurements correlate almost perfectly for m <= 8.
+	labels := []string{"tr=1", "tr=2", "tr=4"}
+	vary := func(i int) NetworkParams {
+		p := Baseline()
+		p.RouterDelay = []int64{1, 2, 4}[i]
+		return p
+	}
+	corr, err := CorrelateOpenBatch([]int{1, 4}, labels, vary, 200, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corr.Pairs) != 6 {
+		t.Fatalf("pairs = %d, want 6", len(corr.Pairs))
+	}
+	if corr.Coefficient < 0.95 {
+		t.Errorf("tr correlation = %.4f, want > 0.95 (paper: 0.9953)", corr.Coefficient)
+	}
+}
+
+func TestTable2Network(t *testing.T) {
+	p := Table2Network(4)
+	cfg, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topo.N != 16 || cfg.Router.VCs != 8 || cfg.Router.BufDepth != 4 || cfg.Router.Delay != 4 {
+		t.Errorf("Table II network drifted: %+v", cfg.Router)
+	}
+}
+
+func TestExecRunsOnRealAndIdealNetwork(t *testing.T) {
+	real, err := Exec(Table2Network(1), ExecParams{Benchmark: "blackscholes", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := Exec(NetworkParams{}, ExecParams{Benchmark: "blackscholes", Ideal: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal.Cycles >= real.Cycles {
+		t.Errorf("ideal %d cycles not faster than real %d", ideal.Cycles, real.Cycles)
+	}
+	if _, err := Exec(Baseline(), ExecParams{Benchmark: "lu"}); err == nil {
+		t.Error("64-node network accepted for a 16-tile CMP")
+	}
+	if _, err := Exec(Table2Network(1), ExecParams{Benchmark: "quake"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestCharacterizeProducesUsableModel(t *testing.T) {
+	m, err := Characterize("lu", workload.Clock75MHz, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NAR <= 0 || m.NAR > 0.5 {
+		t.Errorf("NAR = %v", m.NAR)
+	}
+	if m.L2Miss <= 0 || m.L2Miss >= 1 {
+		t.Errorf("L2 miss = %v", m.L2Miss)
+	}
+	if m.StaticKernelFrac <= 0 {
+		t.Error("no static kernel traffic measured")
+	}
+	if m.TimerPeriod <= 0 || m.TimerBatch < 1 {
+		t.Errorf("timer model: period %d batch %d", m.TimerPeriod, m.TimerBatch)
+	}
+
+	// The derived parameters must produce runnable batch configs for every
+	// variant, with the right knobs enabled.
+	for _, v := range Variants() {
+		bp := m.BatchParams(50, 1, v)
+		switch v {
+		case BA:
+			if bp.NAR != 0 || bp.Reply != nil || bp.Kernel != nil {
+				t.Errorf("BA has extras enabled: %+v", bp)
+			}
+		case BAInjReOS:
+			if bp.NAR == 0 || bp.Reply == nil || bp.Kernel == nil {
+				t.Errorf("BA_inj+re+OS missing pieces: %+v", bp)
+			}
+		}
+		res, err := Batch(Table2Network(1), bp)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if !res.Completed {
+			t.Errorf("%s batch did not complete", v)
+		}
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	want := map[Variant]string{
+		BA: "BA", BAInj: "BA_inj", BARe: "BA_re",
+		BAInjRe: "BA_inj+re", BAInjReOS: "BA_inj+re+OS",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("%d -> %q, want %q", v, v.String(), s)
+		}
+	}
+}
+
+func TestExecAndBatchSweepsNormalize(t *testing.T) {
+	trs := []int64{1, 4}
+	en, err := ExecSweep("fft", trs, ExecParams{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if en[0] != 1 || en[1] <= 1 {
+		t.Errorf("exec sweep = %v: want normalized rising runtimes", en)
+	}
+	bn, err := BatchSweep(trs, BatchParams{B: 100, M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bn[0] != 1 || bn[1] <= 1.5 {
+		t.Errorf("batch sweep = %v: m=1 should track zero-load scaling", bn)
+	}
+}
+
+func TestCorrelateExecBatchValidation(t *testing.T) {
+	_, err := CorrelateExecBatch([]string{"x"}, []int64{1, 2},
+		map[string][]float64{"x": {1}},
+		map[string][]float64{"x": {1, 2}})
+	if err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestBatchParamsUseMeasuredReplyModel(t *testing.T) {
+	m := &BenchmarkModel{Name: "x", NAR: 0.1, L2Miss: 0.25}
+	bp := m.BatchParams(100, 2, BARe)
+	pr, ok := bp.Reply.(closedloop.ProbabilisticReply)
+	if !ok {
+		t.Fatalf("reply model is %T", bp.Reply)
+	}
+	if pr.MissRate != 0.25 || pr.L2Latency != 20 || pr.MemoryLatency != 300 {
+		t.Errorf("reply model = %+v", pr)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Parallel runs n independent experiment closures across worker
+// goroutines and returns the first error encountered (remaining tasks are
+// still executed; simulations are cheap to finish and results stay
+// index-addressed). Every simulator in this repository is deterministic
+// given its seed and shares no mutable state across runs, so experiment
+// sweeps parallelize perfectly.
+//
+// workers <= 0 selects GOMAXPROCS.
+func Parallel(n, workers int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := task(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: parallel task %d: %w", i, err)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// BatchGrid runs the batch model over the cross product of network
+// parameter variants and m values in parallel, returning results indexed
+// [variant][m]. It is the workhorse behind the m-sweep figures.
+func BatchGrid(variants []NetworkParams, ms []int, bp BatchParams) ([][]*BatchGridCell, error) {
+	out := make([][]*BatchGridCell, len(variants))
+	for i := range out {
+		out[i] = make([]*BatchGridCell, len(ms))
+	}
+	n := len(variants) * len(ms)
+	err := Parallel(n, 0, func(idx int) error {
+		vi, mi := idx/len(ms), idx%len(ms)
+		p := bp
+		p.M = ms[mi]
+		res, err := Batch(variants[vi], p)
+		if err != nil {
+			return err
+		}
+		if !res.Completed {
+			return fmt.Errorf("batch %s m=%d did not complete", variants[vi], ms[mi])
+		}
+		out[vi][mi] = &BatchGridCell{
+			Params:     variants[vi],
+			M:          ms[mi],
+			Runtime:    res.Runtime,
+			Throughput: res.Throughput,
+			NodeFinish: res.NodeFinish,
+		}
+		return nil
+	})
+	return out, err
+}
+
+// BatchGridCell is one point of a batch-model parameter grid.
+type BatchGridCell struct {
+	Params     NetworkParams
+	M          int
+	Runtime    int64
+	Throughput float64
+	NodeFinish []int64
+}
+
+// OpenLoopGrid runs open-loop sweeps for several network variants in
+// parallel, returning results indexed [variant][rate]. Unstable points are
+// preserved (not truncated) so callers can decide how to plot them.
+func OpenLoopGrid(variants []NetworkParams, rates []float64) ([][]*OpenLoopGridCell, error) {
+	out := make([][]*OpenLoopGridCell, len(variants))
+	for i := range out {
+		out[i] = make([]*OpenLoopGridCell, len(rates))
+	}
+	n := len(variants) * len(rates)
+	err := Parallel(n, 0, func(idx int) error {
+		vi, ri := idx/len(rates), idx%len(rates)
+		res, err := OpenLoop(variants[vi], rates[ri])
+		if err != nil {
+			return err
+		}
+		out[vi][ri] = &OpenLoopGridCell{
+			Params:     variants[vi],
+			Rate:       rates[ri],
+			AvgLatency: res.AvgLatency,
+			Worst:      res.WorstLatency,
+			Accepted:   res.Accepted,
+			Stable:     res.Stable,
+		}
+		return nil
+	})
+	return out, err
+}
+
+// OpenLoopGridCell is one point of an open-loop parameter grid.
+type OpenLoopGridCell struct {
+	Params     NetworkParams
+	Rate       float64
+	AvgLatency float64
+	Worst      float64
+	Accepted   float64
+	Stable     bool
+}

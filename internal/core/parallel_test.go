@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelRunsAllTasks(t *testing.T) {
+	var count atomic.Int64
+	done := make([]atomic.Bool, 100)
+	err := Parallel(100, 8, func(i int) error {
+		count.Add(1)
+		done[i].Store(true)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 100 {
+		t.Errorf("ran %d tasks", count.Load())
+	}
+	for i := range done {
+		if !done[i].Load() {
+			t.Fatalf("task %d skipped", i)
+		}
+	}
+}
+
+func TestParallelReportsFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	err := Parallel(20, 4, func(i int) error {
+		if i == 7 {
+			return boom
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+	if err := Parallel(0, 4, func(int) error { return boom }); err != nil {
+		t.Errorf("zero tasks returned %v", err)
+	}
+}
+
+func TestParallelDefaultsWorkers(t *testing.T) {
+	if err := Parallel(3, 0, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Parallel(3, 100, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchGridMatchesSerialRuns(t *testing.T) {
+	variants := []NetworkParams{Baseline()}
+	p2 := Baseline()
+	p2.RouterDelay = 2
+	variants = append(variants, p2)
+	ms := []int{1, 4}
+
+	grid, err := BatchGrid(variants, ms, BatchParams{B: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi, variant := range variants {
+		for mi, m := range ms {
+			serial, err := Batch(variant, BatchParams{B: 100, M: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cell := grid[vi][mi]
+			if cell == nil {
+				t.Fatalf("missing cell %d/%d", vi, mi)
+			}
+			if cell.Runtime != serial.Runtime {
+				t.Errorf("%s m=%d: grid %d vs serial %d (determinism broken in parallel)",
+					variant, m, cell.Runtime, serial.Runtime)
+			}
+		}
+	}
+}
+
+func TestOpenLoopGrid(t *testing.T) {
+	grid, err := OpenLoopGrid([]NetworkParams{Baseline()}, []float64{0.05, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid[0][0].AvgLatency >= grid[0][1].AvgLatency {
+		t.Errorf("latency did not rise with load: %.2f -> %.2f",
+			grid[0][0].AvgLatency, grid[0][1].AvgLatency)
+	}
+	if !grid[0][0].Stable || !grid[0][1].Stable {
+		t.Error("low loads reported unstable")
+	}
+}
+
+func TestBatchGridPropagatesErrors(t *testing.T) {
+	bad := Baseline()
+	bad.Routing = "zigzag"
+	if _, err := BatchGrid([]NetworkParams{bad}, []int{1}, BatchParams{B: 10}); err == nil {
+		t.Error("invalid variant accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Package core is the on-chip network evaluation framework itself — the
+// paper's contribution. It provides one configuration schema covering all
+// of Table I, runners for each evaluation methodology (open-loop,
+// closed-loop batch and barrier models, trace-driven replay, and the
+// execution-driven CMP), the enhanced batch-model parameter derivation of
+// §IV-C and §V (NAR, reply latency, kernel traffic measured from
+// execution-driven characterization runs), and the cross-methodology
+// correlation procedures behind Figs 5, 8, 15, 19 and 22.
+package core
+
+import (
+	"fmt"
+
+	"noceval/internal/network"
+	"noceval/internal/router"
+	"noceval/internal/routing"
+	"noceval/internal/topology"
+	"noceval/internal/traffic"
+)
+
+// NetworkParams is the Table I parameter schema in plain values, suitable
+// for flag parsing and sweep enumeration.
+type NetworkParams struct {
+	Topology    string // e.g. "mesh8x8", "torus8x8", "ring64"
+	VCs         int
+	BufDepth    int   // q
+	RouterDelay int64 // tr
+	Routing     string
+	Arb         string // "rr" or "age"
+	Pattern     string // traffic pattern name
+	Sizes       string // "single" or "bimodal"
+	// SAIterations selects iSLIP-style multi-pass switch allocation
+	// (0/1 = classic single pass).
+	SAIterations int
+	Seed         uint64
+}
+
+// Baseline returns the bold values of Table I: an 8x8 mesh with 2 VCs,
+// 16-flit buffers, 1-cycle routers, DOR, round-robin arbitration,
+// single-flit packets, uniform random traffic.
+func Baseline() NetworkParams {
+	return NetworkParams{
+		Topology:    "mesh8x8",
+		VCs:         2,
+		BufDepth:    16,
+		RouterDelay: 1,
+		Routing:     "dor",
+		Arb:         "rr",
+		Pattern:     "uniform",
+		Sizes:       "single",
+		Seed:        1,
+	}
+}
+
+// String returns a compact label for figure legends.
+func (p NetworkParams) String() string {
+	return fmt.Sprintf("%s/%s tr=%d q=%d v=%d %s", p.Topology, p.Routing, p.RouterDelay, p.BufDepth, p.VCs, p.Pattern)
+}
+
+// Build materializes the network configuration.
+func (p NetworkParams) Build() (network.Config, error) {
+	topo, err := topology.ByName(p.Topology)
+	if err != nil {
+		return network.Config{}, err
+	}
+	alg, err := routing.ByName(p.Routing)
+	if err != nil {
+		return network.Config{}, err
+	}
+	arb := router.RoundRobin
+	switch p.Arb {
+	case "", "rr":
+	case "age":
+		arb = router.AgeBased
+	default:
+		return network.Config{}, fmt.Errorf("core: unknown arbitration %q", p.Arb)
+	}
+	cfg := network.Config{
+		Topo:    topo,
+		Routing: alg,
+		Router: router.Config{
+			VCs:          p.VCs,
+			BufDepth:     p.BufDepth,
+			Delay:        p.RouterDelay,
+			Arb:          arb,
+			SAIterations: p.SAIterations,
+		},
+		Seed: p.Seed,
+	}
+	if err := cfg.Validate(); err != nil {
+		return network.Config{}, err
+	}
+	return cfg, nil
+}
+
+// BuildPattern returns the traffic pattern named in the parameters.
+func (p NetworkParams) BuildPattern() (traffic.Pattern, error) {
+	name := p.Pattern
+	if name == "" {
+		name = "uniform"
+	}
+	return traffic.ByName(name)
+}
+
+// BuildSizes returns the packet-size distribution named in the parameters.
+func (p NetworkParams) BuildSizes() (traffic.SizeDist, error) {
+	switch p.Sizes {
+	case "", "single":
+		return traffic.FixedSize(1), nil
+	case "bimodal":
+		return traffic.DefaultBimodal(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown packet size mix %q", p.Sizes)
+	}
+}

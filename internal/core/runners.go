@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+
+	"noceval/internal/closedloop"
+	"noceval/internal/cmp"
+	"noceval/internal/network"
+	"noceval/internal/openloop"
+	"noceval/internal/workload"
+)
+
+// OpenLoop runs one open-loop measurement at the given offered load
+// (flits/cycle/node) under the Table I parameters.
+func OpenLoop(p NetworkParams, rate float64) (*openloop.Result, error) {
+	netCfg, err := p.Build()
+	if err != nil {
+		return nil, err
+	}
+	pat, err := p.BuildPattern()
+	if err != nil {
+		return nil, err
+	}
+	sizes, err := p.BuildSizes()
+	if err != nil {
+		return nil, err
+	}
+	return openloop.Run(openloop.Config{
+		Net:     netCfg,
+		Pattern: pat,
+		Sizes:   sizes,
+		Rate:    rate,
+		Seed:    p.Seed,
+	})
+}
+
+// OpenLoopSweep produces a latency-vs-load curve over the given rates.
+func OpenLoopSweep(p NetworkParams, rates []float64) ([]*openloop.Result, error) {
+	netCfg, err := p.Build()
+	if err != nil {
+		return nil, err
+	}
+	pat, err := p.BuildPattern()
+	if err != nil {
+		return nil, err
+	}
+	sizes, err := p.BuildSizes()
+	if err != nil {
+		return nil, err
+	}
+	return openloop.Sweep(openloop.Config{
+		Net:     netCfg,
+		Pattern: pat,
+		Sizes:   sizes,
+		Seed:    p.Seed,
+	}, rates)
+}
+
+// BatchParams are the closed-loop batch-model knobs layered on top of the
+// network parameters.
+type BatchParams struct {
+	B   int // batch size b (default 1000, the paper's steady-state choice)
+	M   int // max outstanding requests m
+	NAR float64
+	// Reply selects the reply-latency model; nil keeps the baseline
+	// immediate reply.
+	Reply closedloop.ReplyModel
+	// Kernel enables the OS-traffic model.
+	Kernel *closedloop.KernelConfig
+}
+
+// Batch runs one closed-loop batch-model measurement.
+func Batch(p NetworkParams, bp BatchParams) (*closedloop.BatchResult, error) {
+	netCfg, err := p.Build()
+	if err != nil {
+		return nil, err
+	}
+	pat, err := p.BuildPattern()
+	if err != nil {
+		return nil, err
+	}
+	if bp.B == 0 {
+		bp.B = 1000
+	}
+	if bp.M == 0 {
+		bp.M = 1
+	}
+	return closedloop.RunBatch(closedloop.BatchConfig{
+		Net:     netCfg,
+		Pattern: pat,
+		B:       bp.B,
+		M:       bp.M,
+		NAR:     bp.NAR,
+		Reply:   bp.Reply,
+		Kernel:  bp.Kernel,
+		Seed:    p.Seed,
+	})
+}
+
+// Barrier runs one closed-loop barrier-model measurement.
+func Barrier(p NetworkParams, b, phases int) (*closedloop.BarrierResult, error) {
+	netCfg, err := p.Build()
+	if err != nil {
+		return nil, err
+	}
+	pat, err := p.BuildPattern()
+	if err != nil {
+		return nil, err
+	}
+	sizes, err := p.BuildSizes()
+	if err != nil {
+		return nil, err
+	}
+	return closedloop.RunBarrier(closedloop.BarrierConfig{
+		Net:     netCfg,
+		Pattern: pat,
+		Sizes:   sizes,
+		B:       b,
+		Phases:  phases,
+		Seed:    p.Seed,
+	})
+}
+
+// ExecParams configure one execution-driven run.
+type ExecParams struct {
+	Benchmark string
+	Clock     workload.Clock
+	// Timer enables the periodic timer-interrupt model.
+	Timer bool
+	// Ideal runs on the ideal network instead of the configured one
+	// (used for NAR characterization, Table III).
+	Ideal bool
+	// SampleInterval and CollectMatrix pass through to the CMP config.
+	SampleInterval int64
+	CollectMatrix  bool
+	Seed           uint64
+}
+
+// Exec runs the execution-driven CMP simulation of one benchmark. The
+// network parameters select the interconnect; the paper's Table II setup is
+// a 4x4 mesh with 8 VCs and 4-flit buffers.
+func Exec(p NetworkParams, ep ExecParams) (*cmp.Result, error) {
+	prof, err := workload.ByName(ep.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	return execProfile(p, ep, prof)
+}
+
+func execProfile(p NetworkParams, ep ExecParams, prof workload.Profile) (*cmp.Result, error) {
+	cfg := cmp.DefaultConfig()
+	cfg.SampleInterval = ep.SampleInterval
+	cfg.CollectMatrix = ep.CollectMatrix
+	if ep.Timer {
+		cfg.TimerPeriod = prof.TimerPeriod(ep.Clock)
+		cfg.TimerHandlerInsts = prof.TimerHandlerInsts
+	}
+
+	var fab cmp.Fabric
+	if ep.Ideal {
+		fab = cmp.NewIdealFabric()
+	} else {
+		netCfg, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		if netCfg.Topo.N != cfg.Tiles {
+			return nil, fmt.Errorf("core: execution-driven runs need a %d-node topology, got %s",
+				cfg.Tiles, netCfg.Topo.Name)
+		}
+		fab = cmp.NetFabric{Network: network.New(netCfg)}
+	}
+	seed := ep.Seed
+	if seed == 0 {
+		seed = p.Seed
+	}
+	sys, err := cmp.NewSystem(cfg, fab, workload.Programs(prof, cfg.Tiles, seed))
+	if err != nil {
+		return nil, err
+	}
+	prof.Warm(sys, cfg.Tiles)
+	res := sys.Run()
+	if !res.Completed {
+		return res, fmt.Errorf("core: execution-driven run of %s hit the cycle limit", prof.Name)
+	}
+	return res, nil
+}
+
+// Table2Network returns the Table II interconnect parameters: a 4x4 mesh
+// with 8 VCs, 4-flit buffers, DOR and the given router delay.
+func Table2Network(tr int64) NetworkParams {
+	return NetworkParams{
+		Topology:    "mesh4x4",
+		VCs:         8,
+		BufDepth:    4,
+		RouterDelay: tr,
+		Routing:     "dor",
+		Arb:         "rr",
+		Pattern:     "uniform",
+		Sizes:       "single",
+		Seed:        1,
+	}
+}

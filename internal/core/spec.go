@@ -1,0 +1,183 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"noceval/internal/closedloop"
+	"noceval/internal/workload"
+)
+
+// ExperimentSpec is a declarative, JSON-serializable description of one
+// experiment, so studies can be captured in version-controlled files and
+// rerun exactly (`noceval run -config exp.json`).
+type ExperimentSpec struct {
+	// Kind selects the methodology: "openloop", "sweep", "batch",
+	// "barrier", "exec" or "characterize".
+	Kind string `json:"kind"`
+
+	// Network parameters (Table I); zero values take the baseline.
+	Network NetworkParams `json:"network"`
+
+	// Open-loop settings.
+	Rate  float64   `json:"rate,omitempty"`
+	Rates []float64 `json:"rates,omitempty"`
+
+	// Closed-loop settings.
+	B      int                      `json:"b,omitempty"`
+	M      int                      `json:"m,omitempty"`
+	NAR    float64                  `json:"nar,omitempty"`
+	Phases int                      `json:"phases,omitempty"`
+	Reply  *ReplySpec               `json:"reply,omitempty"`
+	Kernel *closedloop.KernelConfig `json:"kernel,omitempty"`
+
+	// Execution-driven settings.
+	Benchmark string `json:"benchmark,omitempty"`
+	Clock     string `json:"clock,omitempty"` // "75mhz" or "3ghz"
+	Timer     bool   `json:"timer,omitempty"`
+	Ideal     bool   `json:"ideal,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+}
+
+// ReplySpec is the JSON form of a reply-latency model.
+type ReplySpec struct {
+	Type     string  `json:"type"` // "immediate", "fixed", "probabilistic"
+	Latency  int64   `json:"latency,omitempty"`
+	L2       int64   `json:"l2,omitempty"`
+	Memory   int64   `json:"memory,omitempty"`
+	MissRate float64 `json:"missRate,omitempty"`
+}
+
+// Build converts the spec to a ReplyModel.
+func (r *ReplySpec) Build() (closedloop.ReplyModel, error) {
+	if r == nil {
+		return nil, nil
+	}
+	switch r.Type {
+	case "", "immediate":
+		return closedloop.ImmediateReply{}, nil
+	case "fixed":
+		return closedloop.FixedReply{Latency: r.Latency}, nil
+	case "probabilistic":
+		return closedloop.ProbabilisticReply{
+			L2Latency:     r.L2,
+			MemoryLatency: r.Memory,
+			MissRate:      r.MissRate,
+		}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown reply model %q", r.Type)
+	}
+}
+
+// ParseSpec decodes a JSON experiment spec, filling network defaults from
+// the Table I baseline.
+func ParseSpec(data []byte) (*ExperimentSpec, error) {
+	spec := &ExperimentSpec{Network: Baseline()}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(spec); err != nil {
+		return nil, fmt.Errorf("core: bad experiment spec: %w", err)
+	}
+	if spec.Network.Topology == "" {
+		spec.Network = Baseline()
+	}
+	return spec, nil
+}
+
+// clock parses the spec's clock string.
+func (s *ExperimentSpec) clock() (workload.Clock, error) {
+	switch strings.ToLower(s.Clock) {
+	case "", "3ghz":
+		return workload.Clock3GHz, nil
+	case "75mhz":
+		return workload.Clock75MHz, nil
+	default:
+		return 0, fmt.Errorf("core: unknown clock %q", s.Clock)
+	}
+}
+
+// Run executes the experiment and returns a human-readable report.
+func (s *ExperimentSpec) Run() (string, error) {
+	var b strings.Builder
+	switch s.Kind {
+	case "openloop":
+		if s.Rate <= 0 {
+			return "", fmt.Errorf("core: openloop spec needs a positive rate")
+		}
+		res, err := OpenLoop(s.Network, s.Rate)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "openloop %s rate=%.3f\n", s.Network, s.Rate)
+		fmt.Fprintf(&b, "avg latency %.2f +/- %.2f, worst %.2f, accepted %.3f, stable %v\n",
+			res.AvgLatency, res.LatencyCI95, res.WorstLatency, res.Accepted, res.Stable)
+	case "sweep":
+		rates := s.Rates
+		if len(rates) == 0 {
+			for r := 0.05; r <= 0.5; r += 0.05 {
+				rates = append(rates, r)
+			}
+		}
+		results, err := OpenLoopSweep(s.Network, rates)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "sweep %s\n%10s %12s %8s\n", s.Network, "rate", "latency", "stable")
+		for _, r := range results {
+			fmt.Fprintf(&b, "%10.3f %12.2f %8v\n", r.Rate, r.AvgLatency, r.Stable)
+		}
+	case "batch":
+		reply, err := s.Reply.Build()
+		if err != nil {
+			return "", err
+		}
+		res, err := Batch(s.Network, BatchParams{B: s.B, M: s.M, NAR: s.NAR, Reply: reply, Kernel: s.Kernel})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "batch %s b=%d m=%d\n", s.Network, s.B, s.M)
+		fmt.Fprintf(&b, "runtime %d, throughput %.4f, packets %d (kernel %d)\n",
+			res.Runtime, res.Throughput, res.TotalPackets, res.KernelPackets)
+	case "barrier":
+		phases := s.Phases
+		if phases == 0 {
+			phases = 1
+		}
+		res, err := Barrier(s.Network, s.B, phases)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "barrier %s b=%d phases=%d\n", s.Network, s.B, phases)
+		fmt.Fprintf(&b, "runtime %d, throughput %.4f\n", res.Runtime, res.Throughput)
+	case "exec":
+		clock, err := s.clock()
+		if err != nil {
+			return "", err
+		}
+		res, err := Exec(s.Network, ExecParams{
+			Benchmark: s.Benchmark, Clock: clock, Timer: s.Timer, Ideal: s.Ideal, Seed: s.Seed,
+		})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "exec %s on %s (clock %s, timer %v)\n", s.Benchmark, s.Network, clock, s.Timer)
+		fmt.Fprintf(&b, "cycles %d, NAR %.4f (user %.4f kernel %.4f), L2 miss %.3f/%.3f\n",
+			res.Cycles, res.NAR, res.UserNAR, res.KernelNAR, res.L2MissRate[0], res.L2MissRate[1])
+	case "characterize":
+		clock, err := s.clock()
+		if err != nil {
+			return "", err
+		}
+		m, err := Characterize(s.Benchmark, clock, s.Seed)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "characterize %s @ %s\n", m.Name, m.Clock)
+		fmt.Fprintf(&b, "NAR %.4f (user %.4f kernel %.4f), L2 miss %.3f, static kernel %.3f, timer %d x %d\n",
+			m.NAR, m.UserNAR, m.KernelNAR, m.L2Miss, m.StaticKernelFrac, m.TimerPeriod, m.TimerBatch)
+	default:
+		return "", fmt.Errorf("core: unknown experiment kind %q", s.Kind)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"noceval/internal/closedloop"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{"kind":"batch","b":50,"m":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Network.Topology != "mesh8x8" || spec.Network.VCs != 2 {
+		t.Errorf("baseline defaults not applied: %+v", spec.Network)
+	}
+	if spec.B != 50 || spec.M != 2 {
+		t.Errorf("fields lost: %+v", spec)
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"kind":"batch","bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseSpec([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReplySpecBuild(t *testing.T) {
+	cases := []struct {
+		spec ReplySpec
+		want string
+	}{
+		{ReplySpec{Type: "immediate"}, "immediate"},
+		{ReplySpec{Type: "fixed", Latency: 20}, "fixed20"},
+		{ReplySpec{Type: "probabilistic", L2: 20, Memory: 300, MissRate: 0.1}, "prob"},
+	}
+	for _, tc := range cases {
+		m, err := tc.spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(m.Name(), tc.want) {
+			t.Errorf("built %q, want prefix %q", m.Name(), tc.want)
+		}
+	}
+	if _, err := (&ReplySpec{Type: "quantum"}).Build(); err == nil {
+		t.Error("unknown reply type accepted")
+	}
+	var nilSpec *ReplySpec
+	if m, err := nilSpec.Build(); err != nil || m != nil {
+		t.Error("nil spec should build nil model")
+	}
+}
+
+func TestSpecRunBatch(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"kind": "batch",
+		"network": {"Topology":"mesh4x4","VCs":2,"BufDepth":8,"RouterDelay":1,"Routing":"dor","Seed":3},
+		"b": 50, "m": 2,
+		"reply": {"type":"fixed","latency":10}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "runtime") || !strings.Contains(report, "throughput") {
+		t.Errorf("report missing metrics: %q", report)
+	}
+}
+
+func TestSpecRunOpenLoopAndErrors(t *testing.T) {
+	spec := &ExperimentSpec{Kind: "openloop", Network: Baseline(), Rate: 0.1}
+	report, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "avg latency") {
+		t.Errorf("report: %q", report)
+	}
+	if _, err := (&ExperimentSpec{Kind: "openloop", Network: Baseline()}).Run(); err == nil {
+		t.Error("zero-rate openloop accepted")
+	}
+	if _, err := (&ExperimentSpec{Kind: "teleport", Network: Baseline()}).Run(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := (&ExperimentSpec{Kind: "exec", Network: Baseline(), Clock: "9ghz"}).Run(); err == nil {
+		t.Error("unknown clock accepted")
+	}
+}
+
+func TestSpecKernelConfigRoundTrip(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"kind":"batch","b":40,"m":1,
+		"network": {"Topology":"mesh4x4","VCs":2,"BufDepth":8,"RouterDelay":1,"Routing":"dor","Seed":3},
+		"kernel": {"StaticFraction":0.2,"TimerPeriod":500,"TimerBatch":1,"KernelNAR":0.5}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := closedloop.KernelConfig{StaticFraction: 0.2, TimerPeriod: 500, TimerBatch: 1, KernelNAR: 0.5}
+	if *spec.Kernel != want {
+		t.Errorf("kernel config = %+v, want %+v", spec.Kernel, want)
+	}
+	report, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "kernel") {
+		t.Errorf("report missing kernel packets: %q", report)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"noceval/internal/network"
+	"noceval/internal/router"
+	"noceval/internal/sim"
+	"noceval/internal/trace"
+)
+
+// TraceResult bundles a capture run with its replay.
+type TraceResult struct {
+	Trace *trace.Trace
+	// CaptureRuntime is the closed-loop runtime on the capture network.
+	CaptureRuntime int64
+	Replay         *trace.ReplayResult
+}
+
+// CaptureAndReplay runs the trace-driven methodology end to end: a closed-
+// loop batch workload (B transactions per node, at most M outstanding)
+// executes on the capture network while every injected packet is recorded;
+// the trace then replays on the replay network. Comparing
+// Replay.Runtime against a direct closed-loop run on the replay network
+// quantifies the causality the trace lost (§II).
+func CaptureAndReplay(capture, replay NetworkParams, b, m int) (*TraceResult, error) {
+	capCfg, err := capture.Build()
+	if err != nil {
+		return nil, err
+	}
+	pattern, err := capture.BuildPattern()
+	if err != nil {
+		return nil, err
+	}
+	net := network.New(capCfg)
+	rec := trace.NewRecorder(capCfg.Topo.N)
+	rec.Attach(net)
+
+	// Drive the batch request/reply protocol directly on the recorded
+	// network.
+	type state struct{ sent, done, pf int }
+	nodes := make([]state, capCfg.Topo.N)
+	rng := sim.NewRNG(capture.Seed ^ 0x6a09e667f3bcc908)
+	net.OnReceive = func(now int64, p *router.Packet) {
+		switch p.Kind {
+		case router.KindRequest:
+			net.Send(net.NewPacket(p.Dst, p.Src, 1, router.KindReply))
+		case router.KindReply:
+			nodes[p.Dst].pf--
+			nodes[p.Dst].done++
+		}
+	}
+	for {
+		finished := 0
+		for i := range nodes {
+			if nodes[i].sent < b && nodes[i].pf < m {
+				dst := pattern.Dest(rng, i, len(nodes))
+				net.Send(net.NewPacket(i, dst, 1, router.KindRequest))
+				nodes[i].sent++
+				nodes[i].pf++
+			}
+			if nodes[i].done >= b {
+				finished++
+			}
+		}
+		if finished == len(nodes) {
+			break
+		}
+		net.Step()
+	}
+
+	repCfg, err := replay.Build()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := trace.Replay(rec.Trace(), repCfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceResult{
+		Trace:          rec.Trace(),
+		CaptureRuntime: net.Now(),
+		Replay:         rep,
+	}, nil
+}

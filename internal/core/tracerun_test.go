@@ -1,0 +1,38 @@
+package core
+
+import "testing"
+
+func TestCaptureAndReplay(t *testing.T) {
+	capture := Baseline()
+	capture.Topology = "mesh4x4"
+	slow := capture
+	slow.RouterDelay = 4
+
+	res, err := CaptureAndReplay(capture, slow, 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Replay.Completed {
+		t.Fatal("replay did not complete")
+	}
+	// 16 nodes x 60 transactions x (request + reply).
+	if want := 16 * 60 * 2; len(res.Trace.Events) != want {
+		t.Errorf("trace has %d events, want %d", len(res.Trace.Events), want)
+	}
+	if res.Replay.Packets != len(res.Trace.Events) {
+		t.Errorf("replayed %d of %d packets", res.Replay.Packets, len(res.Trace.Events))
+	}
+	// The methodology's known causality loss: the replay on the 4x slower
+	// network stretches far less than a true closed-loop run would (which
+	// the batch model says is ~2.4x).
+	stretch := float64(res.Replay.Runtime) / float64(res.CaptureRuntime)
+	if stretch > 1.5 {
+		t.Errorf("replay stretched %.2fx; trace-driven replay should hide most of the slowdown", stretch)
+	}
+	if _, err := CaptureAndReplay(NetworkParams{Topology: "blob"}, slow, 10, 1); err == nil {
+		t.Error("bad capture params accepted")
+	}
+	if _, err := CaptureAndReplay(capture, NetworkParams{Topology: "blob"}, 10, 1); err == nil {
+		t.Error("bad replay params accepted")
+	}
+}

@@ -1,0 +1,302 @@
+// Package network assembles cycle-accurate routers into a complete on-chip
+// network with one terminal per node, unbounded source queues (the open-loop
+// "infinite source queue" model), packet-level send/receive hooks for
+// closed-loop protocols, and conservation accounting.
+//
+// The network advances in whole cycles: each Step first delivers flits and
+// credits that finished their pipelines (deliver phase), then lets every
+// router compute one RC/VA/SA cycle (compute phase). Terminals inject
+// between the two phases, so a flit injected in cycle c can be switched in
+// cycle c at the earliest.
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"noceval/internal/router"
+	"noceval/internal/routing"
+	"noceval/internal/sim"
+	"noceval/internal/topology"
+)
+
+// Config gathers everything needed to build a network.
+type Config struct {
+	Topo    *topology.Topology
+	Routing routing.Algorithm
+	Router  router.Config
+	Seed    uint64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Topo == nil {
+		return fmt.Errorf("network: nil topology")
+	}
+	if c.Routing == nil {
+		return fmt.Errorf("network: nil routing algorithm")
+	}
+	return c.Router.Validate(c.Topo, c.Routing)
+}
+
+// Receiver observes packets arriving at terminals. Arrival means the tail
+// flit reached the destination's ejection port.
+type Receiver func(now int64, pkt *router.Packet)
+
+// Network is a complete simulated on-chip network.
+type Network struct {
+	cfg     Config
+	clock   sim.Clock
+	rng     *sim.RNG
+	routers []*router.Router
+	srcQ    []*sim.FIFO[router.Flit]
+
+	// OnReceive, when non-nil, is invoked for every packet that fully
+	// arrives at its destination terminal.
+	OnReceive Receiver
+	// OnSend, when non-nil, observes every packet handed to Send (used by
+	// the trace recorder).
+	OnSend Receiver
+
+	nextPacketID uint64
+
+	// Conservation accounting.
+	flitsInjected int64 // flits that entered a router injection buffer
+	flitsEjected  int64
+	pktsSent      int64 // packets handed to Send
+	pktsArrived   int64
+	queuedFlits   int64 // flits waiting in source queues
+}
+
+// New builds a network. It panics on invalid configuration; use
+// Config.Validate to check first when the configuration is user-supplied.
+func New(cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	t := cfg.Topo
+	n := &Network{
+		cfg:     cfg,
+		rng:     sim.NewRNG(cfg.Seed),
+		routers: make([]*router.Router, t.N),
+		srcQ:    make([]*sim.FIFO[router.Flit], t.N),
+	}
+	for i := 0; i < t.N; i++ {
+		n.routers[i] = router.New(i, t, cfg.Routing, cfg.Router)
+		n.srcQ[i] = sim.NewFIFO[router.Flit](16)
+	}
+	// Wire upstream references for credit return.
+	for i := 0; i < t.N; i++ {
+		for p := 0; p < t.Radix; p++ {
+			link := t.LinkAt(i, p)
+			if link.Connected() {
+				n.routers[link.To].SetUpstream(link.ToPort, n.routers[i], p)
+			}
+		}
+	}
+	return n
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Now returns the current cycle.
+func (n *Network) Now() int64 { return n.clock.Now() }
+
+// RNG returns the network's private random source (used by workloads that
+// want a stream tied to the network seed).
+func (n *Network) RNG() *sim.RNG { return n.rng }
+
+// Nodes returns the number of terminals.
+func (n *Network) Nodes() int { return n.cfg.Topo.N }
+
+// NewPacket allocates a packet from src to dst with the given flit count
+// and kind, stamps its creation time, and prepares its routing state
+// (including the intermediate node for two-phase algorithms).
+func (n *Network) NewPacket(src, dst, size int, kind router.Kind) *router.Packet {
+	n.nextPacketID++
+	mid := n.cfg.Routing.PickIntermediate(n.cfg.Topo, n.rng, src, dst)
+	p := &router.Packet{
+		ID:         n.nextPacketID,
+		Src:        src,
+		Dst:        dst,
+		Size:       size,
+		Kind:       kind,
+		CreateTime: n.clock.Now(),
+		InjectTime: -1,
+		ArriveTime: -1,
+		Route:      routing.NewState(mid),
+	}
+	p.Route.ArriveAt(src) // an intermediate equal to the source is a no-op phase
+	return p
+}
+
+// Send queues the packet's flits at its source terminal. The packet will be
+// injected into the router as buffer space allows.
+func (n *Network) Send(p *router.Packet) {
+	if n.OnSend != nil {
+		n.OnSend(n.clock.Now(), p)
+	}
+	for _, f := range router.Flits(p) {
+		n.srcQ[p.Src].Push(f)
+	}
+	n.pktsSent++
+	n.queuedFlits += int64(p.Size)
+}
+
+// SourceQueueLen returns the number of flits waiting at a node's source
+// queue (not yet inside the network).
+func (n *Network) SourceQueueLen(node int) int { return n.srcQ[node].Len() }
+
+// Step advances the network one cycle.
+func (n *Network) Step() {
+	now := n.clock.Now()
+	n.deliver(now)
+	n.inject(now)
+	for _, r := range n.routers {
+		r.Step(now)
+	}
+	n.clock.Tick()
+}
+
+// deliver moves flits that completed a router/link pipeline into the next
+// input buffer, and hands fully arrived packets to the receiver.
+func (n *Network) deliver(now int64) {
+	t := n.cfg.Topo
+	local := t.LocalPort()
+	for id, r := range n.routers {
+		if r.InFlight() == 0 {
+			continue
+		}
+		for p := 0; p < t.Ports(); p++ {
+			f, ok := r.PopDelivery(now, p)
+			if !ok {
+				continue
+			}
+			if p == local {
+				n.flitsEjected++
+				if f.Tail() {
+					f.P.ArriveTime = now
+					n.pktsArrived++
+					if n.OnReceive != nil {
+						n.OnReceive(now, f.P)
+					}
+				}
+				continue
+			}
+			link := t.LinkAt(id, p)
+			n.routers[link.To].AcceptFlit(link.ToPort, int(f.VC), f)
+		}
+	}
+}
+
+// inject moves flits from source queues into injection buffers while space
+// remains.
+func (n *Network) inject(now int64) {
+	for node, q := range n.srcQ {
+		r := n.routers[node]
+		for q.Len() > 0 && r.CanAcceptInjection() {
+			f, _ := q.Pop()
+			if f.Head() {
+				f.P.InjectTime = now
+			}
+			r.AcceptFlit(n.cfg.Topo.LocalPort(), r.InjectionVC(), f)
+			n.flitsInjected++
+			n.queuedFlits--
+		}
+	}
+}
+
+// Quiescent reports whether no flits remain anywhere: source queues,
+// input buffers, and pipelines are all empty.
+func (n *Network) Quiescent() bool {
+	if n.queuedFlits != 0 {
+		return false
+	}
+	for _, r := range n.routers {
+		if !r.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats returns the network's cumulative conservation counters.
+func (n *Network) Stats() (pktsSent, pktsArrived, flitsInjected, flitsEjected int64) {
+	return n.pktsSent, n.pktsArrived, n.flitsInjected, n.flitsEjected
+}
+
+// CheckConservation returns an error when flit/packet accounting is
+// inconsistent with the amount of traffic still in flight; tests call it
+// after draining to prove nothing was lost or duplicated.
+func (n *Network) CheckConservation() error {
+	inside := int64(0)
+	for _, r := range n.routers {
+		inside += int64(r.Occupancy() + r.InFlight())
+	}
+	if n.flitsInjected-n.flitsEjected != inside {
+		return fmt.Errorf("network: flit conservation violated: injected %d, ejected %d, inside %d",
+			n.flitsInjected, n.flitsEjected, inside)
+	}
+	if n.Quiescent() && n.pktsSent != n.pktsArrived {
+		return fmt.Errorf("network: packet conservation violated at quiescence: sent %d, arrived %d",
+			n.pktsSent, n.pktsArrived)
+	}
+	return nil
+}
+
+// ChannelLoad describes the traffic carried by one network channel.
+type ChannelLoad struct {
+	From, Port, To int
+	Flits          int64
+	// Utilization is flits divided by elapsed cycles: the fraction of the
+	// channel's bandwidth in use.
+	Utilization float64
+}
+
+// ChannelLoads returns the per-channel flit counts and utilizations since
+// construction, most-loaded first. It identifies the saturated channel
+// that bounds throughput (the paper's footnote: "the saturation throughput
+// is determined when one channel in the network is saturated").
+func (n *Network) ChannelLoads() []ChannelLoad {
+	t := n.cfg.Topo
+	cycles := n.clock.Now()
+	var out []ChannelLoad
+	for id, r := range n.routers {
+		for p := 0; p < t.Radix; p++ {
+			link := t.LinkAt(id, p)
+			if !link.Connected() {
+				continue
+			}
+			cl := ChannelLoad{From: id, Port: p, To: link.To, Flits: r.PortFlits(p)}
+			if cycles > 0 {
+				cl.Utilization = float64(cl.Flits) / float64(cycles)
+			}
+			out = append(out, cl)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Flits > out[j].Flits })
+	return out
+}
+
+// MaxChannelUtilization returns the utilization of the busiest channel.
+func (n *Network) MaxChannelUtilization() float64 {
+	loads := n.ChannelLoads()
+	if len(loads) == 0 {
+		return 0
+	}
+	return loads[0].Utilization
+}
+
+// RunUntilQuiescent steps until the network drains or maxCycles elapse,
+// returning the number of cycles stepped and whether it drained.
+func (n *Network) RunUntilQuiescent(maxCycles int64) (int64, bool) {
+	start := n.clock.Now()
+	for !n.Quiescent() {
+		if n.clock.Now()-start >= maxCycles {
+			return n.clock.Now() - start, false
+		}
+		n.Step()
+	}
+	return n.clock.Now() - start, true
+}

@@ -1,0 +1,277 @@
+// Package openloop implements the classic open-loop measurement methodology
+// of Dally & Towles (§II-A of the paper): traffic parameters — spatial
+// distribution, temporal process, packet sizes — are independent of network
+// state thanks to infinite source queues, and network performance is
+// characterized by the average packet latency at a swept offered load.
+//
+// The harness uses the standard three-phase procedure: a warmup phase to
+// reach steady state, a measurement phase whose packets are tagged, and a
+// drain phase (with traffic still offered, to hold the network in steady
+// state) that runs until every tagged packet has arrived. An offered load
+// beyond saturation is detected by the drain failing to complete or by the
+// source queues growing without bound.
+package openloop
+
+import (
+	"fmt"
+
+	"noceval/internal/network"
+	"noceval/internal/router"
+	"noceval/internal/sim"
+	"noceval/internal/stats"
+	"noceval/internal/traffic"
+)
+
+// Config describes one open-loop run.
+type Config struct {
+	Net     network.Config
+	Pattern traffic.Pattern
+	Sizes   traffic.SizeDist
+	// Rate is the offered load in flits/cycle/node.
+	Rate float64
+	// Proc, when non-nil, replaces the default Bernoulli injection process
+	// (e.g. traffic.OnOff for bursty sources). Rate is ignored when set.
+	Proc traffic.Process
+	// Warmup and Measure are the phase lengths in cycles; DrainLimit bounds
+	// the drain phase. Zero values select defaults (10k/10k/100k).
+	Warmup     int64
+	Measure    int64
+	DrainLimit int64
+	Seed       uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Warmup == 0 {
+		c.Warmup = 10000
+	}
+	if c.Measure == 0 {
+		c.Measure = 10000
+	}
+	if c.DrainLimit == 0 {
+		c.DrainLimit = 100000
+	}
+	if c.Sizes == nil {
+		c.Sizes = traffic.FixedSize(1)
+	}
+	if c.Pattern == nil {
+		c.Pattern = traffic.Uniform{}
+	}
+}
+
+// Result summarizes one open-loop run.
+type Result struct {
+	Rate float64 // offered load, flits/cycle/node
+	// Stable is false when the drain phase did not complete: the offered
+	// load is beyond saturation and latencies diverge.
+	Stable bool
+
+	AvgLatency    float64 // mean packet latency (cycles), incl. source queueing
+	LatencyCI95   float64 // 95% confidence half-width of AvgLatency (batch means)
+	WorstLatency  float64 // max over nodes of the per-source average latency
+	AvgNetLatency float64 // mean latency excluding source queueing
+	AvgHops       float64
+	P95, P99      float64
+
+	// PerNodeAvg is the average latency of measured packets by source node
+	// (the distribution plotted in Fig 11a/b).
+	PerNodeAvg []float64
+
+	// Accepted is the measured throughput in flits/cycle/node during the
+	// measurement phase.
+	Accepted float64
+
+	MeasuredPackets int
+}
+
+// Run executes one open-loop simulation.
+func Run(cfg Config) (*Result, error) {
+	cfg.fillDefaults()
+	var proc traffic.Process
+	if cfg.Proc != nil {
+		proc = cfg.Proc
+		cfg.Rate = proc.OfferedLoad()
+	} else {
+		if cfg.Rate <= 0 {
+			return nil, fmt.Errorf("openloop: offered load must be positive, got %g", cfg.Rate)
+		}
+		proc = traffic.Bernoulli{Rate: cfg.Rate, Sizes: cfg.Sizes}
+	}
+	if err := cfg.Net.Validate(); err != nil {
+		return nil, err
+	}
+	net := network.New(cfg.Net)
+	n := net.Nodes()
+	rng := sim.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15)
+
+	var (
+		latencies    []float64
+		netLatencies []float64
+		hops         []float64
+		perNodeSum   = make([]float64, n)
+		perNodeCnt   = make([]int, n)
+		outstanding  int
+		ejectedFlits int64
+	)
+	measuring := false
+	net.OnReceive = func(now int64, p *router.Packet) {
+		if measuring {
+			ejectedFlits += int64(p.Size)
+		}
+		if !p.Measured {
+			return
+		}
+		l := float64(p.Latency())
+		latencies = append(latencies, l)
+		netLatencies = append(netLatencies, float64(p.NetworkLatency()))
+		hops = append(hops, float64(p.Hops))
+		perNodeSum[p.Src] += l
+		perNodeCnt[p.Src]++
+		outstanding--
+	}
+
+	genPhase := func(cycles int64, measured bool) {
+		for c := int64(0); c < cycles; c++ {
+			for node := 0; node < n; node++ {
+				if proc.ShouldInjectAt(rng, node) {
+					size := cfg.Sizes.Sample(rng)
+					dst := cfg.Pattern.Dest(rng, node, n)
+					p := net.NewPacket(node, dst, size, router.KindData)
+					if measured {
+						p.Measured = true
+						outstanding++
+					}
+					net.Send(p)
+				}
+			}
+			net.Step()
+		}
+	}
+
+	genPhase(cfg.Warmup, false)
+	measuring = true
+	measureStart := net.Now()
+	genPhase(cfg.Measure, true)
+	measureCycles := net.Now() - measureStart
+	measuring = false
+
+	// Drain: keep offering traffic so measured packets experience
+	// steady-state contention, until all tagged packets arrive.
+	stable := true
+	drainStart := net.Now()
+	for outstanding > 0 {
+		if net.Now()-drainStart >= cfg.DrainLimit {
+			stable = false
+			break
+		}
+		genPhase(1, false)
+	}
+
+	res := &Result{
+		Rate:            cfg.Rate,
+		Stable:          stable,
+		MeasuredPackets: len(latencies),
+		PerNodeAvg:      make([]float64, n),
+	}
+	if len(latencies) > 0 {
+		sum := stats.Summarize(latencies)
+		res.AvgLatency = sum.Mean
+		res.LatencyCI95 = stats.BatchMeansCI95(latencies, 10)
+		res.P95, res.P99 = sum.P95, sum.P99
+		res.AvgNetLatency = stats.Mean(netLatencies)
+		res.AvgHops = stats.Mean(hops)
+	}
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		if perNodeCnt[i] > 0 {
+			res.PerNodeAvg[i] = perNodeSum[i] / float64(perNodeCnt[i])
+		}
+		if res.PerNodeAvg[i] > worst {
+			worst = res.PerNodeAvg[i]
+		}
+	}
+	res.WorstLatency = worst
+	if measureCycles > 0 {
+		res.Accepted = float64(ejectedFlits) / float64(measureCycles) / float64(n)
+	}
+	// Beyond saturation the network cannot accept the offered load: source
+	// queues grow without bound even if the tagged packets eventually get
+	// through. Treat a >10% shortfall between accepted and offered
+	// throughput as instability.
+	if res.Accepted < 0.9*cfg.Rate {
+		res.Stable = false
+	}
+	return res, nil
+}
+
+// Sweep runs the load sweep producing a latency-vs-offered-load curve
+// (Fig 1, Fig 3, Fig 6a, Fig 9). It stops early once a load is unstable,
+// since every higher load saturates too. Rates are in flits/cycle/node.
+func Sweep(cfg Config, rates []float64) ([]*Result, error) {
+	var out []*Result
+	for _, r := range rates {
+		c := cfg
+		c.Rate = r
+		res, err := Run(c)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+		if !res.Stable {
+			break
+		}
+	}
+	return out, nil
+}
+
+// ZeroLoad measures the zero-load latency T0: the average latency at a
+// vanishing offered load where queueing is negligible.
+func ZeroLoad(cfg Config) (float64, error) {
+	c := cfg
+	c.Rate = 0.005
+	c.fillDefaults()
+	c.Warmup = 2000
+	c.Measure = 20000
+	res, err := Run(c)
+	if err != nil {
+		return 0, err
+	}
+	return res.AvgLatency, nil
+}
+
+// Saturation estimates the saturation throughput by bisection over the
+// offered load in [lo, hi]: the largest stable load whose average latency
+// stays below latencyCap times the zero-load latency. The paper defines
+// saturation as the load where latency approaches infinity; a finite
+// multiple (conventionally 3x) makes the measurement robust.
+func Saturation(cfg Config, lo, hi, latencyCap float64) (float64, error) {
+	if latencyCap <= 1 {
+		latencyCap = 3
+	}
+	t0, err := ZeroLoad(cfg)
+	if err != nil {
+		return 0, err
+	}
+	limit := latencyCap * t0
+	stableAt := func(rate float64) (bool, error) {
+		c := cfg
+		c.Rate = rate
+		res, err := Run(c)
+		if err != nil {
+			return false, err
+		}
+		return res.Stable && res.AvgLatency <= limit, nil
+	}
+	for i := 0; i < 12 && hi-lo > 0.005; i++ {
+		mid := (lo + hi) / 2
+		ok, err := stableAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,174 @@
+package openloop
+
+import (
+	"testing"
+
+	"noceval/internal/network"
+	"noceval/internal/router"
+	"noceval/internal/routing"
+	"noceval/internal/topology"
+	"noceval/internal/traffic"
+)
+
+func meshConfig(tr int64, q int) network.Config {
+	return network.Config{
+		Topo:    topology.NewMesh(8, 8),
+		Routing: routing.DOR{},
+		Router:  router.Config{VCs: 2, BufDepth: q, Delay: tr},
+		Seed:    42,
+	}
+}
+
+func quick(cfg Config) Config {
+	cfg.Warmup = 2000
+	cfg.Measure = 4000
+	cfg.DrainLimit = 30000
+	return cfg
+}
+
+func TestLowLoadLatencyNearZeroLoad(t *testing.T) {
+	res, err := Run(quick(Config{Net: meshConfig(1, 16), Rate: 0.02, Seed: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Fatal("low load should be stable")
+	}
+	// 8x8 mesh uniform: avg hops ~5.25, hop cost 2, ejection 1 -> ~11.5
+	// cycles plus small queueing.
+	if res.AvgLatency < 10 || res.AvgLatency > 16 {
+		t.Errorf("zero-load latency = %.2f, want ~11-13", res.AvgLatency)
+	}
+	if res.AvgHops < 4.8 || res.AvgHops > 5.8 {
+		t.Errorf("avg hops = %.2f, want ~5.25", res.AvgHops)
+	}
+}
+
+func TestLatencyRisesWithLoad(t *testing.T) {
+	var prev float64
+	for i, rate := range []float64{0.05, 0.2, 0.35} {
+		res, err := Run(quick(Config{Net: meshConfig(1, 16), Rate: rate, Seed: 2}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stable {
+			t.Fatalf("rate %.2f unexpectedly unstable", rate)
+		}
+		if i > 0 && res.AvgLatency <= prev {
+			t.Errorf("latency did not rise: %.2f -> %.2f at rate %.2f", prev, res.AvgLatency, rate)
+		}
+		prev = res.AvgLatency
+	}
+}
+
+func TestOverloadIsUnstable(t *testing.T) {
+	// An 8x8 mesh under uniform random saturates near 0.4 flits/cycle/node;
+	// offering 0.8 must be detected as unstable.
+	res, err := Run(quick(Config{Net: meshConfig(1, 16), Rate: 0.8, Seed: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stable {
+		t.Errorf("rate 0.8 reported stable; accepted = %.3f", res.Accepted)
+	}
+	if res.Accepted > 0.55 {
+		t.Errorf("accepted rate %.3f exceeds plausible mesh capacity", res.Accepted)
+	}
+}
+
+func TestRouterDelayRaisesZeroLoadNotThroughput(t *testing.T) {
+	// Fig 3a: tr scales zero-load latency ~1.5x for tr=2 but saturation
+	// stays put.
+	z1, err := ZeroLoad(Config{Net: meshConfig(1, 16), Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z2, err := ZeroLoad(Config{Net: meshConfig(2, 16), Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := z2 / z1
+	if ratio < 1.35 || ratio > 1.65 {
+		t.Errorf("tr=2/tr=1 zero-load ratio = %.3f, want ~1.5", ratio)
+	}
+}
+
+func TestSmallBuffersCutThroughput(t *testing.T) {
+	// Fig 3b: q=4 saturates noticeably below q=16 at equal zero-load.
+	cfgBig := quick(Config{Net: meshConfig(1, 16), Rate: 0.38, Seed: 5})
+	cfgSmall := quick(Config{Net: meshConfig(1, 4), Rate: 0.38, Seed: 5})
+	big, err := Run(cfgBig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Run(cfgSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Stable && small.Stable && small.AvgLatency < big.AvgLatency {
+		t.Errorf("q=4 latency (%.1f) below q=16 (%.1f) near saturation", small.AvgLatency, big.AvgLatency)
+	}
+	if !big.Stable {
+		t.Errorf("q=16 should still be stable at 0.38 (accepted %.3f)", big.Accepted)
+	}
+}
+
+func TestSweepStopsAfterUnstable(t *testing.T) {
+	cfg := quick(Config{Net: meshConfig(1, 16), Seed: 6})
+	results, err := Sweep(cfg, []float64{0.1, 0.9, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("sweep returned %d results, want 2 (stop at first unstable)", len(results))
+	}
+	if results[1].Stable {
+		t.Error("second sweep point should be unstable")
+	}
+}
+
+func TestTransposeWorstCaseVsAverage(t *testing.T) {
+	// Under transpose, diagonal nodes talk to themselves (tiny latency)
+	// while corner pairs cross the whole network: worst-case per-node
+	// latency must far exceed the average.
+	cfg := quick(Config{
+		Net:     meshConfig(1, 16),
+		Pattern: traffic.Transpose{},
+		Rate:    0.05,
+		Seed:    7,
+	})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorstLatency < 1.5*res.AvgLatency {
+		t.Errorf("transpose worst %.1f vs avg %.1f: want worst >= 1.5x avg", res.WorstLatency, res.AvgLatency)
+	}
+}
+
+func TestSaturationEstimateMesh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation bisection is slow")
+	}
+	cfg := Config{Net: meshConfig(1, 16), Seed: 8, Warmup: 2000, Measure: 3000, DrainLimit: 20000}
+	sat, err := Saturation(cfg, 0.05, 0.7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DOR uniform on an 8x8 mesh: theoretical bound 0.5; expect ~0.35-0.50
+	// with 2 VCs and q=16.
+	if sat < 0.3 || sat > 0.55 {
+		t.Errorf("saturation = %.3f, want ~0.35-0.50", sat)
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	if _, err := Run(Config{Net: meshConfig(1, 16)}); err == nil {
+		t.Error("zero rate should be rejected")
+	}
+	bad := meshConfig(1, 16)
+	bad.Router.VCs = 0
+	if _, err := Run(Config{Net: bad, Rate: 0.1}); err == nil {
+		t.Error("invalid router config should be rejected")
+	}
+}

@@ -1,0 +1,544 @@
+package router
+
+import (
+	"fmt"
+
+	"noceval/internal/routing"
+	"noceval/internal/sim"
+	"noceval/internal/topology"
+)
+
+// ArbPolicy selects how conflicting requests are ordered in the VC and
+// switch allocators (Table I: round robin, age-based).
+type ArbPolicy int
+
+// Arbitration policies.
+const (
+	RoundRobin ArbPolicy = iota
+	AgeBased
+)
+
+// String returns the policy's short name.
+func (p ArbPolicy) String() string {
+	if p == AgeBased {
+		return "age"
+	}
+	return "rr"
+}
+
+// ejectionCredits is the effectively infinite credit count of ejection
+// output VCs: terminals are ideal sinks, so ejection is limited only by
+// the one-flit-per-cycle switch bandwidth.
+const ejectionCredits = 1 << 30
+
+// Config carries the router microarchitecture parameters of Table I.
+type Config struct {
+	VCs      int       // virtual channels per port
+	BufDepth int       // flit buffer depth per VC (q)
+	Delay    int64     // router pipeline latency in cycles (tr)
+	Arb      ArbPolicy // allocator arbitration policy
+	// SAIterations is the number of separable switch-allocation passes
+	// per cycle (iSLIP-style): after the first input/output matching,
+	// further iterations match the ports left unpaired, improving crossbar
+	// utilization near saturation. 0 or 1 selects the classic single pass.
+	SAIterations int
+}
+
+// Validate reports configuration errors, including too few VCs for the
+// routing algorithm's class requirements.
+func (c Config) Validate(t *topology.Topology, alg routing.Algorithm) error {
+	if c.VCs < 1 {
+		return fmt.Errorf("router: VCs must be >= 1, got %d", c.VCs)
+	}
+	if c.BufDepth < 1 {
+		return fmt.Errorf("router: BufDepth must be >= 1, got %d", c.BufDepth)
+	}
+	if c.Delay < 1 {
+		return fmt.Errorf("router: Delay must be >= 1, got %d", c.Delay)
+	}
+	if need := alg.NumClasses(t); c.VCs < need {
+		return fmt.Errorf("router: algorithm %s needs %d VC classes on %s but only %d VCs configured",
+			alg.Name(), need, t.Name, c.VCs)
+	}
+	return nil
+}
+
+// inVC is one input virtual channel: a bounded flit FIFO plus the
+// allocation state of the packet currently at its front.
+type inVC struct {
+	buf      *sim.FIFO[Flit]
+	routed   bool
+	cands    []routing.Candidate
+	granted  bool
+	outPort  int
+	outVC    int
+	outClass int // routing class of the granted output VC
+}
+
+// reset clears the front packet's allocation after its tail departs.
+func (v *inVC) reset() {
+	v.routed, v.granted = false, false
+	v.cands = v.cands[:0]
+}
+
+// outVC is the book-keeping for one downstream virtual channel: ownership
+// (set at VC allocation, cleared when the owner's tail flit departs) and
+// the credit count mirroring free downstream buffer slots.
+type outVC struct {
+	owned   bool
+	credits int
+}
+
+// upstreamRef identifies who to send credits to when a flit leaves one of
+// our input buffers.
+type upstreamRef struct {
+	r    *Router // nil for the injection port (the terminal is co-located)
+	port int     // upstream output port feeding our input port
+}
+
+// Router is one cycle-accurate virtual-channel router.
+type Router struct {
+	ID    int
+	topo  *topology.Topology
+	alg   routing.Algorithm
+	cfg   Config
+	ports int
+
+	in  [][]*inVC
+	out [][]outVC
+
+	// pipes[p] models the router pipeline plus the outgoing link of output
+	// port p: SA winners land here and emerge tr+linkDelay cycles later
+	// (tr only, for the ejection port).
+	pipes []*sim.DelayLine[Flit]
+	// creditPipes[p] carries credits returning from the downstream router
+	// attached to output port p (nil for ejection).
+	creditPipes []*sim.DelayLine[int]
+
+	up []upstreamRef
+
+	// occupancy counts flits held in input buffers; inFlight counts flits
+	// inside pipes. A router with both zero and no pending credits can be
+	// skipped entirely.
+	occupancy      int
+	inFlight       int
+	pendingCredits int
+
+	// Arbitration state.
+	vaPtr    int
+	saInPtr  []int
+	saOutPtr []int
+
+	// Per-cycle scratch, reused to avoid allocation.
+	saInWin    []int // per input port: winning VC index or -1
+	saInMatch  []bool
+	saOutMatch []bool
+	vaScratch  []int
+
+	// Stats.
+	FlitsRouted int64
+	// portFlits counts flits forwarded through each output port, for
+	// channel-utilization analysis.
+	portFlits []int64
+}
+
+// New constructs the router for node id of the given topology. Callers must
+// have validated cfg. Upstream references are wired afterwards by the
+// network via SetUpstream.
+func New(id int, t *topology.Topology, alg routing.Algorithm, cfg Config) *Router {
+	ports := t.Ports()
+	r := &Router{
+		ID:          id,
+		topo:        t,
+		alg:         alg,
+		cfg:         cfg,
+		ports:       ports,
+		in:          make([][]*inVC, ports),
+		out:         make([][]outVC, ports),
+		pipes:       make([]*sim.DelayLine[Flit], ports),
+		creditPipes: make([]*sim.DelayLine[int], ports),
+		up:          make([]upstreamRef, ports),
+		saInPtr:     make([]int, ports),
+		saOutPtr:    make([]int, ports),
+		saInWin:     make([]int, ports),
+		saInMatch:   make([]bool, ports),
+		saOutMatch:  make([]bool, ports),
+		portFlits:   make([]int64, ports),
+	}
+	local := t.LocalPort()
+	for p := 0; p < ports; p++ {
+		r.in[p] = make([]*inVC, cfg.VCs)
+		r.out[p] = make([]outVC, cfg.VCs)
+		for v := 0; v < cfg.VCs; v++ {
+			r.in[p][v] = &inVC{buf: sim.NewBoundedFIFO[Flit](cfg.BufDepth)}
+		}
+		switch {
+		case p == local:
+			for v := range r.out[p] {
+				r.out[p][v].credits = ejectionCredits
+			}
+			r.pipes[p] = sim.NewDelayLine[Flit](cfg.Delay)
+		default:
+			link := t.LinkAt(id, p)
+			if link.Connected() {
+				for v := range r.out[p] {
+					r.out[p][v].credits = cfg.BufDepth
+				}
+				r.pipes[p] = sim.NewDelayLine[Flit](cfg.Delay + link.Delay)
+				// Credits pay the reverse link plus one credit-processing
+				// cycle at the receiving router.
+				r.creditPipes[p] = sim.NewDelayLine[int](link.Delay + 1)
+			}
+		}
+	}
+	return r
+}
+
+// SetUpstream records that our input port is fed by the given upstream
+// router's output port, so credits can be returned.
+func (r *Router) SetUpstream(inPort int, up *Router, upPort int) {
+	r.up[inPort] = upstreamRef{r: up, port: upPort}
+}
+
+// classRange maps a routing VC class to its VC index range [lo, hi).
+func (r *Router) classRange(class int) (lo, hi int) {
+	if class == routing.AnyClass {
+		return 0, r.cfg.VCs
+	}
+	c := r.alg.NumClasses(r.topo)
+	lo = class * r.cfg.VCs / c
+	hi = (class + 1) * r.cfg.VCs / c
+	return lo, hi
+}
+
+// AcceptFlit places a delivered flit into the input buffer (port, vc). It
+// panics if the buffer is full: credit-based flow control guarantees space,
+// so overflow indicates a simulator bug.
+func (r *Router) AcceptFlit(port, vc int, f Flit) {
+	if f.Head() {
+		f.P.Route.ArriveAt(r.ID)
+	}
+	if !r.in[port][vc].buf.Push(f) {
+		panic(fmt.Sprintf("router %d: input buffer overflow at port %d vc %d", r.ID, port, vc))
+	}
+	r.occupancy++
+}
+
+// CanAcceptInjection reports whether the injection buffer (local port,
+// VC 0) has space for another flit.
+func (r *Router) CanAcceptInjection() bool {
+	return !r.in[r.topo.LocalPort()][0].buf.Full()
+}
+
+// InjectionVC returns the VC index injected flits enter: a single FIFO
+// source-queue model per the open-loop methodology.
+func (r *Router) InjectionVC() int { return 0 }
+
+// receiveCredit schedules a credit return for output VC (port, vc); it
+// becomes usable after the link delay.
+func (r *Router) receiveCredit(now int64, port, vc int) {
+	r.creditPipes[port].Push(now, vc)
+	r.pendingCredits++
+}
+
+// PopDelivery removes the flit, if any, emerging from output port p's
+// pipeline at cycle now.
+func (r *Router) PopDelivery(now int64, p int) (Flit, bool) {
+	if r.pipes[p] == nil {
+		return Flit{}, false
+	}
+	f, ok := r.pipes[p].PopReady(now)
+	if ok {
+		r.inFlight--
+	}
+	return f, ok
+}
+
+// PortFlits returns the number of flits forwarded through output port p
+// since construction.
+func (r *Router) PortFlits(p int) int64 { return r.portFlits[p] }
+
+// Idle reports whether the router holds no flits and no pending credits.
+func (r *Router) Idle() bool {
+	return r.occupancy == 0 && r.inFlight == 0 && r.pendingCredits == 0
+}
+
+// Occupancy returns the number of flits buffered in input VCs.
+func (r *Router) Occupancy() int { return r.occupancy }
+
+// InFlight returns the number of flits inside the router/link pipelines.
+func (r *Router) InFlight() int { return r.inFlight }
+
+// Step performs one compute cycle: credit intake, route computation, VC
+// allocation and switch allocation. Flit movement between routers is
+// handled by the network's deliver phase.
+func (r *Router) Step(now int64) {
+	if r.Idle() {
+		return
+	}
+	r.drainCredits(now)
+	if r.occupancy == 0 {
+		return
+	}
+	r.routeCompute()
+	r.vcAllocate()
+	r.switchAllocate(now)
+}
+
+func (r *Router) drainCredits(now int64) {
+	if r.pendingCredits == 0 {
+		return
+	}
+	for p := 0; p < r.ports; p++ {
+		cp := r.creditPipes[p]
+		if cp == nil {
+			continue
+		}
+		for {
+			vc, ok := cp.PopReady(now)
+			if !ok {
+				break
+			}
+			r.out[p][vc].credits++
+			r.pendingCredits--
+		}
+	}
+}
+
+// routeCompute fills in candidates for every input VC whose front flit is
+// an unrouted head.
+func (r *Router) routeCompute() {
+	for p := 0; p < r.ports; p++ {
+		for v := 0; v < r.cfg.VCs; v++ {
+			ivc := r.in[p][v]
+			if ivc.routed {
+				continue
+			}
+			f, ok := ivc.buf.Peek()
+			if !ok || !f.Head() {
+				continue
+			}
+			ivc.cands = r.alg.Candidates(r.topo, r.ID, f.P.Dst, &f.P.Route, ivc.cands[:0])
+			if len(ivc.cands) == 0 {
+				panic(fmt.Sprintf("router %d: no route for packet %d (dst %d)", r.ID, f.P.ID, f.P.Dst))
+			}
+			ivc.routed = true
+		}
+	}
+}
+
+// vcAllocate grants free output VCs to routed-but-ungranted input VCs.
+// Requests are served in round-robin or age order; each request picks the
+// free VC with the most credits among its candidates, which doubles as the
+// congestion-sensitive output selection of adaptive routing.
+func (r *Router) vcAllocate() {
+	total := r.ports * r.cfg.VCs
+	order := r.vaOrder()
+	for _, flat := range order {
+		p, v := flat/r.cfg.VCs, flat%r.cfg.VCs
+		ivc := r.in[p][v]
+		if !ivc.routed || ivc.granted {
+			continue
+		}
+		bestPort, bestVC, bestClass, bestCred := -1, -1, routing.AnyClass, -1
+		for _, c := range ivc.cands {
+			lo, hi := r.classRange(c.Class)
+			for ov := lo; ov < hi; ov++ {
+				o := &r.out[c.Port][ov]
+				if o.owned {
+					continue
+				}
+				if o.credits > bestCred {
+					bestPort, bestVC, bestClass, bestCred = c.Port, ov, c.Class, o.credits
+				}
+			}
+		}
+		if bestPort >= 0 {
+			ivc.granted = true
+			ivc.outPort, ivc.outVC, ivc.outClass = bestPort, bestVC, bestClass
+			r.out[bestPort][bestVC].owned = true
+		}
+	}
+	r.vaPtr = (r.vaPtr + 1) % total
+}
+
+// vaOrder returns the order in which VC allocation requests are served.
+// The returned slice is scratch storage reused across cycles.
+func (r *Router) vaOrder() []int {
+	total := r.ports * r.cfg.VCs
+	order := r.vaScratch[:0]
+	defer func() { r.vaScratch = order[:0] }()
+	if r.cfg.Arb == AgeBased {
+		// Oldest front packet first (insertion sort; total is small).
+		type req struct {
+			flat int
+			age  int64
+		}
+		reqs := make([]req, 0, total)
+		for p := 0; p < r.ports; p++ {
+			for v := 0; v < r.cfg.VCs; v++ {
+				ivc := r.in[p][v]
+				if !ivc.routed || ivc.granted {
+					continue
+				}
+				f, ok := ivc.buf.Peek()
+				if !ok {
+					continue
+				}
+				reqs = append(reqs, req{flat: p*r.cfg.VCs + v, age: f.P.CreateTime})
+			}
+		}
+		for i := 1; i < len(reqs); i++ {
+			for j := i; j > 0 && reqs[j].age < reqs[j-1].age; j-- {
+				reqs[j], reqs[j-1] = reqs[j-1], reqs[j]
+			}
+		}
+		for _, q := range reqs {
+			order = append(order, q.flat)
+		}
+		return order
+	}
+	for i := 0; i < total; i++ {
+		order = append(order, (r.vaPtr+i)%total)
+	}
+	return order
+}
+
+// switchAllocate performs the two-stage separable switch allocation and
+// forwards the winning flits into the output pipelines. With SAIterations
+// > 1, unmatched ports get further matching passes (iSLIP).
+func (r *Router) switchAllocate(now int64) {
+	iters := r.cfg.SAIterations
+	if iters < 1 {
+		iters = 1
+	}
+	for p := 0; p < r.ports; p++ {
+		r.saInMatch[p] = false
+		r.saOutMatch[p] = false
+	}
+	for it := 0; it < iters; it++ {
+		// Stage 1: each unmatched input port nominates one ready VC.
+		progress := false
+		for p := 0; p < r.ports; p++ {
+			if r.saInMatch[p] {
+				r.saInWin[p] = -1
+				continue
+			}
+			r.saInWin[p] = r.pickInputVC(p)
+		}
+		// Stage 2: each unmatched output port picks one requesting input.
+		for outP := 0; outP < r.ports; outP++ {
+			if r.saOutMatch[outP] {
+				continue
+			}
+			win := r.pickInputPort(outP)
+			if win < 0 {
+				continue
+			}
+			r.forward(now, win, r.saInWin[win])
+			r.saInMatch[win] = true
+			r.saOutMatch[outP] = true
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+}
+
+// pickInputVC returns the index of the VC at input port p that wins the
+// port's crossbar input this cycle, or -1.
+func (r *Router) pickInputVC(p int) int {
+	v := r.cfg.VCs
+	best := -1
+	var bestAge int64
+	for i := 0; i < v; i++ {
+		cand := (r.saInPtr[p] + i) % v
+		ivc := r.in[p][cand]
+		if !ivc.granted {
+			continue
+		}
+		f, ok := ivc.buf.Peek()
+		if !ok {
+			continue
+		}
+		if r.out[ivc.outPort][ivc.outVC].credits <= 0 {
+			continue
+		}
+		if r.cfg.Arb == AgeBased {
+			if best < 0 || f.P.CreateTime < bestAge {
+				best, bestAge = cand, f.P.CreateTime
+			}
+		} else {
+			return cand // first in round-robin order wins
+		}
+	}
+	return best
+}
+
+// pickInputPort returns the input port whose nominated flit wins output
+// port outP this cycle, or -1.
+func (r *Router) pickInputPort(outP int) int {
+	best := -1
+	var bestAge int64
+	for i := 0; i < r.ports; i++ {
+		cand := (r.saOutPtr[outP] + i) % r.ports
+		v := r.saInWin[cand]
+		if v < 0 {
+			continue
+		}
+		ivc := r.in[cand][v]
+		if ivc.outPort != outP {
+			continue
+		}
+		if r.cfg.Arb == AgeBased {
+			f, _ := ivc.buf.Peek()
+			if best < 0 || f.P.CreateTime < bestAge {
+				best, bestAge = cand, f.P.CreateTime
+			}
+		} else {
+			best = cand
+			break
+		}
+	}
+	return best
+}
+
+// forward moves the winning flit from input (p, v) into its output
+// pipeline, maintaining credits, ownership and routing state.
+func (r *Router) forward(now int64, p, v int) {
+	ivc := r.in[p][v]
+	f, _ := ivc.buf.Pop()
+	r.occupancy--
+	r.FlitsRouted++
+	outP, outV := ivc.outPort, ivc.outVC
+
+	local := r.topo.LocalPort()
+	if outP != local {
+		r.out[outP][outV].credits--
+		if f.Head() {
+			r.alg.Committed(r.topo, &f.P.Route, ivc.outClass)
+			f.P.Route.Traverse(r.topo.LinkAt(r.ID, outP))
+			f.P.Hops++
+		}
+	}
+	f.VC = int32(outV)
+	r.pipes[outP].Push(now, f)
+	r.inFlight++
+	r.portFlits[outP]++
+
+	// Return a credit for the buffer slot we just freed.
+	if up := r.up[p]; up.r != nil {
+		up.r.receiveCredit(now, up.port, v)
+	}
+
+	if f.Tail() {
+		r.out[outP][outV].owned = false
+		ivc.reset()
+	}
+	// Advance round-robin pointers past the winners.
+	r.saInPtr[p] = (v + 1) % r.cfg.VCs
+	r.saOutPtr[outP] = (p + 1) % r.ports
+	// The winner consumed this input port's nomination.
+	r.saInWin[p] = -1
+}

@@ -1,0 +1,145 @@
+package router
+
+import (
+	"testing"
+
+	"noceval/internal/routing"
+	"noceval/internal/topology"
+)
+
+func TestConfigValidate(t *testing.T) {
+	topo := topology.NewTorus(4, 4)
+	good := Config{VCs: 4, BufDepth: 4, Delay: 1}
+	if err := good.Validate(topo, routing.Valiant{}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	cases := []Config{
+		{VCs: 0, BufDepth: 4, Delay: 1},
+		{VCs: 2, BufDepth: 0, Delay: 1},
+		{VCs: 2, BufDepth: 4, Delay: 0},
+		{VCs: 2, BufDepth: 4, Delay: 1}, // VAL on torus needs 4 classes
+	}
+	for i, c := range cases {
+		if err := c.Validate(topo, routing.Valiant{}); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	// 2 VCs is fine for DOR on a mesh.
+	mesh := topology.NewMesh(4, 4)
+	if err := (Config{VCs: 1, BufDepth: 1, Delay: 1}).Validate(mesh, routing.DOR{}); err != nil {
+		t.Errorf("minimal mesh config rejected: %v", err)
+	}
+}
+
+func TestClassRange(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	r := New(0, topo, routing.Valiant{}, Config{VCs: 4, BufDepth: 2, Delay: 1})
+	// Valiant on mesh: 2 classes over 4 VCs -> [0,2) and [2,4).
+	if lo, hi := r.classRange(0); lo != 0 || hi != 2 {
+		t.Errorf("class 0 range [%d,%d)", lo, hi)
+	}
+	if lo, hi := r.classRange(1); lo != 2 || hi != 4 {
+		t.Errorf("class 1 range [%d,%d)", lo, hi)
+	}
+	if lo, hi := r.classRange(routing.AnyClass); lo != 0 || hi != 4 {
+		t.Errorf("any-class range [%d,%d)", lo, hi)
+	}
+}
+
+func TestClassRangeUneven(t *testing.T) {
+	// MA on a torus needs 3 classes; with 4 VCs the split is 1/1/2.
+	topo := topology.NewTorus(4, 4)
+	r := New(0, topo, routing.MinimalAdaptive{}, Config{VCs: 4, BufDepth: 2, Delay: 1})
+	sizes := []int{}
+	covered := 0
+	for cls := 0; cls < 3; cls++ {
+		lo, hi := r.classRange(cls)
+		if hi <= lo {
+			t.Fatalf("class %d empty: [%d,%d)", cls, lo, hi)
+		}
+		if lo != covered {
+			t.Fatalf("class %d starts at %d, want %d (no gaps/overlap)", cls, lo, covered)
+		}
+		covered = hi
+		sizes = append(sizes, hi-lo)
+	}
+	if covered != 4 {
+		t.Fatalf("classes cover %d VCs, want 4", covered)
+	}
+	_ = sizes
+}
+
+func TestFlits(t *testing.T) {
+	p := &Packet{ID: 1, Size: 3}
+	fs := Flits(p)
+	if len(fs) != 3 {
+		t.Fatalf("flit count = %d", len(fs))
+	}
+	if !fs[0].Head() || fs[0].Tail() {
+		t.Error("first flit head/tail flags wrong")
+	}
+	if fs[1].Head() || fs[1].Tail() {
+		t.Error("middle flit flags wrong")
+	}
+	if fs[2].Head() || !fs[2].Tail() {
+		t.Error("last flit flags wrong")
+	}
+	single := Flits(&Packet{ID: 2, Size: 1})
+	if !single[0].Head() || !single[0].Tail() {
+		t.Error("single-flit packet flags wrong")
+	}
+}
+
+func TestPacketLatencies(t *testing.T) {
+	p := &Packet{CreateTime: 10, InjectTime: 15, ArriveTime: 40}
+	if p.Latency() != 30 || p.NetworkLatency() != 25 {
+		t.Errorf("latencies = %d, %d", p.Latency(), p.NetworkLatency())
+	}
+}
+
+func TestKindAndArbStrings(t *testing.T) {
+	if KindRequest.String() != "req" || KindReply.String() != "reply" || KindData.String() != "data" {
+		t.Error("kind strings broken")
+	}
+	if RoundRobin.String() != "rr" || AgeBased.String() != "age" {
+		t.Error("arb strings broken")
+	}
+}
+
+func TestIdleRouterSkipsWork(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	r := New(5, topo, routing.DOR{}, Config{VCs: 2, BufDepth: 4, Delay: 1})
+	if !r.Idle() {
+		t.Fatal("fresh router not idle")
+	}
+	r.Step(0)
+	if r.FlitsRouted != 0 {
+		t.Error("idle router routed flits")
+	}
+	p := &Packet{ID: 1, Src: 5, Dst: 6, Size: 1}
+	p.Route = routing.NewState(-1)
+	r.AcceptFlit(topo.LocalPort(), 0, Flit{P: p})
+	if r.Idle() {
+		t.Fatal("router with buffered flit reports idle")
+	}
+	r.Step(0)
+	if r.FlitsRouted != 1 {
+		t.Errorf("flit not forwarded: routed=%d", r.FlitsRouted)
+	}
+}
+
+func TestInjectionBackpressure(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	r := New(0, topo, routing.DOR{}, Config{VCs: 2, BufDepth: 2, Delay: 1})
+	p := &Packet{ID: 1, Src: 0, Dst: 15, Size: 4}
+	p.Route = routing.NewState(-1)
+	fs := Flits(p)
+	if !r.CanAcceptInjection() {
+		t.Fatal("fresh injection buffer full")
+	}
+	r.AcceptFlit(topo.LocalPort(), 0, fs[0])
+	r.AcceptFlit(topo.LocalPort(), 0, fs[1])
+	if r.CanAcceptInjection() {
+		t.Error("injection buffer of depth 2 not full after 2 flits")
+	}
+}

@@ -1,0 +1,145 @@
+package sim
+
+// FIFO is a generic ring-buffer queue. It grows on demand when constructed
+// unbounded, or rejects pushes past a fixed capacity when bounded. It is the
+// building block for router VC buffers (bounded) and source queues
+// (unbounded).
+type FIFO[T any] struct {
+	buf     []T
+	head    int
+	n       int
+	bounded bool
+}
+
+// NewFIFO returns an unbounded FIFO with the given initial capacity hint.
+func NewFIFO[T any](hint int) *FIFO[T] {
+	if hint < 4 {
+		hint = 4
+	}
+	return &FIFO[T]{buf: make([]T, hint)}
+}
+
+// NewBoundedFIFO returns a FIFO that holds at most cap items.
+func NewBoundedFIFO[T any](capacity int) *FIFO[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FIFO[T]{buf: make([]T, capacity), bounded: true}
+}
+
+// Len returns the number of queued items.
+func (q *FIFO[T]) Len() int { return q.n }
+
+// Cap returns the capacity for a bounded FIFO, or the current backing size
+// for an unbounded one.
+func (q *FIFO[T]) Cap() int { return len(q.buf) }
+
+// Full reports whether a bounded FIFO cannot accept another item.
+func (q *FIFO[T]) Full() bool { return q.bounded && q.n == len(q.buf) }
+
+// Push appends an item, reporting whether it was accepted. Unbounded FIFOs
+// always accept and grow as needed.
+func (q *FIFO[T]) Push(v T) bool {
+	if q.n == len(q.buf) {
+		if q.bounded {
+			return false
+		}
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+	return true
+}
+
+func (q *FIFO[T]) grow() {
+	nb := make([]T, 2*len(q.buf))
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// Pop removes and returns the oldest item. ok is false when empty.
+func (q *FIFO[T]) Pop() (v T, ok bool) {
+	if q.n == 0 {
+		return v, false
+	}
+	v = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v, true
+}
+
+// Peek returns the oldest item without removing it. ok is false when empty.
+func (q *FIFO[T]) Peek() (v T, ok bool) {
+	if q.n == 0 {
+		return v, false
+	}
+	return q.buf[q.head], true
+}
+
+// At returns the i-th oldest item (0 = front). It panics when out of range.
+func (q *FIFO[T]) At(i int) T {
+	if i < 0 || i >= q.n {
+		panic("sim: FIFO index out of range")
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
+// Clear empties the queue, releasing references so the GC can reclaim
+// queued values.
+func (q *FIFO[T]) Clear() {
+	var zero T
+	for i := 0; i < q.n; i++ {
+		q.buf[(q.head+i)%len(q.buf)] = zero
+	}
+	q.head, q.n = 0, 0
+}
+
+// DelayLine models a fixed-latency pipeline (a link or a router's internal
+// stages): items pushed at cycle c become visible exactly c+delay cycles
+// later. A zero delay makes items visible the same cycle they are pushed.
+type DelayLine[T any] struct {
+	delay int64
+	q     *FIFO[delayed[T]]
+}
+
+type delayed[T any] struct {
+	at int64
+	v  T
+}
+
+// NewDelayLine returns a delay line with the given latency in cycles.
+// Negative delays are treated as zero.
+func NewDelayLine[T any](delay int64) *DelayLine[T] {
+	if delay < 0 {
+		delay = 0
+	}
+	return &DelayLine[T]{delay: delay, q: NewFIFO[delayed[T]](8)}
+}
+
+// Delay returns the line's latency in cycles.
+func (d *DelayLine[T]) Delay() int64 { return d.delay }
+
+// Len returns the number of items in flight.
+func (d *DelayLine[T]) Len() int { return d.q.Len() }
+
+// Push inserts an item at cycle now; it becomes ready at now+delay.
+func (d *DelayLine[T]) Push(now int64, v T) {
+	d.q.Push(delayed[T]{at: now + d.delay, v: v})
+}
+
+// PopReady removes and returns the next item whose delivery time has been
+// reached at cycle now. ok is false when nothing is ready.
+func (d *DelayLine[T]) PopReady(now int64) (v T, ok bool) {
+	head, ok := d.q.Peek()
+	if !ok || head.at > now {
+		var zero T
+		return zero, false
+	}
+	d.q.Pop()
+	return head.v, true
+}

@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	f := NewFigure("test chart", "load", "latency")
+	a := f.AddSeries("alpha")
+	for i := 0; i < 10; i++ {
+		a.Add(float64(i), float64(i*i))
+	}
+	b := f.AddSeries("beta")
+	b.Add(0, 81)
+	b.Add(9, 0)
+	out := f.Chart(40, 10)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("chart missing series glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "* = alpha") || !strings.Contains(out, "o = beta") {
+		t.Errorf("chart missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "x: load, y: latency") {
+		t.Errorf("chart missing axis labels:\n%s", out)
+	}
+	// Axis extremes present.
+	if !strings.Contains(out, "81") || !strings.Contains(out, "9") {
+		t.Errorf("chart missing ranges:\n%s", out)
+	}
+}
+
+func TestChartEdgeCases(t *testing.T) {
+	empty := NewFigure("empty", "x", "y")
+	if out := empty.Chart(40, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart: %q", out)
+	}
+	single := NewFigure("single", "x", "y")
+	single.AddSeries("s").Add(5, 5)
+	out := single.Chart(1, 1) // minimums enforced
+	if !strings.Contains(out, "*") {
+		t.Errorf("single-point chart missing glyph:\n%s", out)
+	}
+	flat := NewFigure("flat", "x", "y")
+	s := flat.AddSeries("s")
+	s.Add(1, 3)
+	s.Add(2, 3) // zero y-range
+	if out := flat.Chart(30, 8); !strings.Contains(out, "*") {
+		t.Errorf("flat chart missing glyphs:\n%s", out)
+	}
+}

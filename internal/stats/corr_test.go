@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpearmanMonotonic(t *testing.T) {
+	// Perfect monotone but nonlinear relation: Spearman 1, Pearson < 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	rs, err := Spearman(xs, ys)
+	if err != nil || math.Abs(rs-1) > 1e-12 {
+		t.Errorf("spearman = %v, err %v", rs, err)
+	}
+	rp, _ := Pearson(xs, ys)
+	if rp >= 1 {
+		t.Errorf("pearson = %v, expected < 1 for cubic", rp)
+	}
+	// Reversed order: -1.
+	rev := []float64{125, 64, 27, 8, 1}
+	rs, _ = Spearman(xs, rev)
+	if math.Abs(rs+1) > 1e-12 {
+		t.Errorf("reversed spearman = %v", rs)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{10, 20, 20, 30}
+	rs, err := Spearman(xs, ys)
+	if err != nil || math.Abs(rs-1) > 1e-12 {
+		t.Errorf("tied spearman = %v, err %v", rs, err)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := ranks([]float64{30, 10, 20, 20})
+	want := []float64{4, 1, 2.5, 2.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestJackknifeCI(t *testing.T) {
+	// Near-perfect linear data: tight CI around r ~= 1.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ys := []float64{1.01, 2.02, 2.97, 4.05, 4.96, 6.03, 7.01, 7.9}
+	r, ci, err := JackknifeCorrCI(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.999 {
+		t.Errorf("r = %v", r)
+	}
+	if ci <= 0 || ci > 0.01 {
+		t.Errorf("ci = %v, want small positive", ci)
+	}
+	// Noisy data: wider CI.
+	noisy := []float64{2, 1, 4, 3, 6, 5, 8, 7}
+	_, ciN, err := JackknifeCorrCI(xs, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ciN <= ci {
+		t.Errorf("noisy CI %v not wider than clean %v", ciN, ci)
+	}
+}
+
+func TestBatchMeansCI(t *testing.T) {
+	// Constant sample: zero CI.
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = 5
+	}
+	if ci := BatchMeansCI95(xs, 10); ci != 0 {
+		t.Errorf("constant sample CI = %v", ci)
+	}
+	// Too-small sample: zero (cannot form batches).
+	if ci := BatchMeansCI95([]float64{1, 2, 3}, 10); ci != 0 {
+		t.Errorf("tiny sample CI = %v", ci)
+	}
+	// Alternating sample: small positive CI shrinking with length.
+	mk := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i%7) * 3
+		}
+		return out
+	}
+	short := BatchMeansCI95(mk(200), 10)
+	long := BatchMeansCI95(mk(20000), 10)
+	if short <= 0 || long <= 0 {
+		t.Fatalf("CIs not positive: %v %v", short, long)
+	}
+	if long >= short {
+		t.Errorf("CI did not shrink with sample size: %v -> %v", short, long)
+	}
+}

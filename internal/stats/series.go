@@ -1,0 +1,298 @@
+package stats
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Series is a named sequence of (X, Y) points: one curve on a paper figure.
+type Series struct {
+	Name   string
+	Xs, Ys []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.Xs = append(s.Xs, x)
+	s.Ys = append(s.Ys, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Xs) }
+
+// YAt returns the Y value for the first point whose X equals x.
+// ok is false when no such point exists.
+func (s *Series) YAt(x float64) (y float64, ok bool) {
+	for i, xv := range s.Xs {
+		if xv == x {
+			return s.Ys[i], true
+		}
+	}
+	return 0, false
+}
+
+// Figure is a collection of series plus axis labels: everything needed to
+// regenerate one paper figure as text/CSV output.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+	Notes  []string
+}
+
+// NewFigure returns an empty figure with the given labels.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries appends a new named series and returns it for population.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Note records a free-form annotation (e.g. a measured correlation
+// coefficient) emitted with the figure.
+func (f *Figure) Note(format string, args ...any) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// CSV renders the figure as a wide CSV table: the union of every series' X
+// values in ascending order, one column per series, blanks where a series
+// has no point at that X.
+func (f *Figure) CSV() string {
+	xset := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.Xs {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	var b strings.Builder
+	b.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%.6g", x)
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			if y, ok := s.YAt(x); ok {
+				fmt.Fprintf(&b, "%.6g", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Text renders the figure as an aligned human-readable table followed by
+// any notes.
+func (f *Figure) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", f.Title)
+	fmt.Fprintf(&b, "#   x-axis: %s, y-axis: %s\n", f.XLabel, f.YLabel)
+	xset := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.Xs {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	fmt.Fprintf(&b, "%14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%14.5g", x)
+		for _, s := range f.Series {
+			if y, ok := s.YAt(x); ok {
+				fmt.Fprintf(&b, " %14.5g", y)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "# note: %s\n", n)
+	}
+	return b.String()
+}
+
+// seriesGlyphs assigns one plot glyph per series, in order.
+const seriesGlyphs = "*o+x#@%&=~"
+
+// Chart renders the figure as an ASCII scatter/line chart of the given
+// plot-area size (sensible minimums are enforced), with axis ranges and a
+// glyph legend. Points from different series that land on the same cell
+// show the later series' glyph.
+func (f *Figure) Chart(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	// Gather ranges.
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range f.Series {
+		for i := range s.Xs {
+			x, y := s.Xs[i], s.Ys[i]
+			if first {
+				xmin, xmax, ymin, ymax = x, x, y, y
+				first = false
+				continue
+			}
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			if y < ymin {
+				ymin = y
+			}
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", f.Title)
+	if first {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = bytes.Repeat([]byte{' '}, width)
+	}
+	for si, s := range f.Series {
+		g := seriesGlyphs[si%len(seriesGlyphs)]
+		for i := range s.Xs {
+			cx := int((s.Xs[i] - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((s.Ys[i] - ymin) / (ymax - ymin) * float64(height-1))
+			grid[height-1-cy][cx] = g
+		}
+	}
+	fmt.Fprintf(&b, "%10.4g +%s\n", ymax, strings.Repeat("-", width))
+	for r, row := range grid {
+		label := strings.Repeat(" ", 10)
+		if r == height-1 {
+			label = fmt.Sprintf("%10.4g", ymin)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", width/2, xmin, width-width/2, xmax)
+	fmt.Fprintf(&b, "%10s  x: %s, y: %s\n", "", f.XLabel, f.YLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "%10s  %c = %s\n", "", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// Table is a simple string grid with a header row, used for the paper's
+// parameter and characteristics tables (Tables I-IV).
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable returns an empty table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Header) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Text renders the table with aligned columns.
+func (t *Table) Text() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	for i, h := range t.Header {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], h)
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values including the header.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	for i, h := range t.Header {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvEscape(h))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package traffic
+
+import (
+	"testing"
+
+	"noceval/internal/sim"
+)
+
+func TestHotspotSplitsTraffic(t *testing.T) {
+	rng := sim.NewRNG(10)
+	h := Hotspot{Hot: 5, Fraction: 0.3}
+	hot, total := 0, 50000
+	for i := 0; i < total; i++ {
+		if h.Dest(rng, 1, 64) == 5 {
+			hot++
+		}
+	}
+	// 30% direct plus 1/64 of the uniform remainder.
+	want := 0.3 + 0.7/64
+	f := float64(hot) / float64(total)
+	if f < want-0.02 || f > want+0.02 {
+		t.Errorf("hotspot fraction = %.3f, want ~%.3f", f, want)
+	}
+	if h.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestBernoulliImplementsProcess(t *testing.T) {
+	var p Process = Bernoulli{Rate: 0.25, Sizes: FixedSize(1)}
+	if p.OfferedLoad() != 0.25 {
+		t.Errorf("offered load = %v", p.OfferedLoad())
+	}
+	rng := sim.NewRNG(11)
+	hits := 0
+	for i := 0; i < 40000; i++ {
+		if p.ShouldInjectAt(rng, i%16) {
+			hits++
+		}
+	}
+	if f := float64(hits) / 40000; f < 0.23 || f > 0.27 {
+		t.Errorf("rate = %.3f", f)
+	}
+}
+
+func TestOnOffLongRunRate(t *testing.T) {
+	const n = 16
+	o := NewOnOff(n, 0.8, 50, 150, FixedSize(1))
+	if got, want := o.OfferedLoad(), 0.2; got != want {
+		t.Fatalf("offered load = %v, want %v", got, want)
+	}
+	rng := sim.NewRNG(12)
+	injections := 0
+	const cycles = 200000
+	for c := 0; c < cycles; c++ {
+		for node := 0; node < n; node++ {
+			if o.ShouldInjectAt(rng, node) {
+				injections++
+			}
+		}
+	}
+	rate := float64(injections) / float64(cycles*n)
+	if rate < 0.17 || rate > 0.23 {
+		t.Errorf("measured long-run rate = %.3f, want ~0.2", rate)
+	}
+}
+
+func TestOnOffIsBursty(t *testing.T) {
+	// Compare the variance of per-window injection counts against a
+	// Bernoulli process of the same average rate: the on/off process must
+	// be markedly burstier.
+	const windows, winLen = 400, 100
+	count := func(p Process) []float64 {
+		rng := sim.NewRNG(13)
+		out := make([]float64, windows)
+		for w := 0; w < windows; w++ {
+			c := 0
+			for i := 0; i < winLen; i++ {
+				if p.ShouldInjectAt(rng, 0) {
+					c++
+				}
+			}
+			out[w] = float64(c)
+		}
+		return out
+	}
+	onoff := count(NewOnOff(1, 0.8, 60, 180, FixedSize(1)))
+	bern := count(Bernoulli{Rate: 0.2, Sizes: FixedSize(1)})
+	varOf := func(xs []float64) float64 {
+		m := 0.0
+		for _, x := range xs {
+			m += x
+		}
+		m /= float64(len(xs))
+		v := 0.0
+		for _, x := range xs {
+			v += (x - m) * (x - m)
+		}
+		return v / float64(len(xs))
+	}
+	if varOf(onoff) < 3*varOf(bern) {
+		t.Errorf("on/off window variance %.1f not >> bernoulli %.1f", varOf(onoff), varOf(bern))
+	}
+}

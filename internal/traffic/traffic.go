@@ -1,0 +1,367 @@
+// Package traffic implements the synthetic spatial traffic patterns and
+// packet-length processes of Table I: uniform random, transpose, bit
+// complement, and bit reversal destinations, plus several classic extras
+// (shuffle, tornado, neighbor) useful for design-space exploration; and
+// single-flit or bimodal (1-flit/4-flit) packet sizes.
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"noceval/internal/sim"
+)
+
+// Pattern maps a source node to a destination node. Implementations must be
+// safe for concurrent use when they are stateless; stateful patterns (none
+// currently) must document otherwise.
+type Pattern interface {
+	// Name returns the pattern's short identifier, e.g. "uniform".
+	Name() string
+	// Dest returns the destination for one packet injected at src in a
+	// network of n nodes. rng supplies randomness for stochastic patterns;
+	// deterministic permutations ignore it.
+	Dest(rng *sim.RNG, src, n int) int
+}
+
+// Uniform is uniform-random traffic: every node, including the source
+// itself, is an equally likely destination (the Dally & Towles convention).
+type Uniform struct{}
+
+// Name implements Pattern.
+func (Uniform) Name() string { return "uniform" }
+
+// Dest implements Pattern.
+func (Uniform) Dest(rng *sim.RNG, src, n int) int { return rng.Intn(n) }
+
+// UniformNoSelf is uniform-random traffic that never picks the source as
+// destination; request/reply workloads use it so every transaction crosses
+// the network.
+type UniformNoSelf struct{}
+
+// Name implements Pattern.
+func (UniformNoSelf) Name() string { return "uniform-noself" }
+
+// Dest implements Pattern.
+func (UniformNoSelf) Dest(rng *sim.RNG, src, n int) int {
+	if n < 2 {
+		return src
+	}
+	d := rng.Intn(n - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Transpose sends from node (x, y) to node (y, x) on a square network:
+// with b address bits, the upper and lower halves of the node index are
+// swapped. n must be a power of four.
+type Transpose struct{}
+
+// Name implements Pattern.
+func (Transpose) Name() string { return "transpose" }
+
+// Dest implements Pattern.
+func (Transpose) Dest(_ *sim.RNG, src, n int) int {
+	b := log2(n)
+	half := b / 2
+	mask := (1 << half) - 1
+	return (src>>half)&mask | (src&mask)<<half
+}
+
+// BitComplement sends from node a to node ~a (mod n). n must be a power of
+// two.
+type BitComplement struct{}
+
+// Name implements Pattern.
+func (BitComplement) Name() string { return "bitcomp" }
+
+// Dest implements Pattern.
+func (BitComplement) Dest(_ *sim.RNG, src, n int) int {
+	log2(n) // validate the node count
+	return ^src & (n - 1)
+}
+
+// BitReversal sends from node a to the node whose index has a's bits in
+// reverse order. n must be a power of two.
+type BitReversal struct{}
+
+// Name implements Pattern.
+func (BitReversal) Name() string { return "bitrev" }
+
+// Dest implements Pattern.
+func (BitReversal) Dest(_ *sim.RNG, src, n int) int {
+	b := log2(n)
+	return int(bits.Reverse64(uint64(src)) >> (64 - b))
+}
+
+// Shuffle sends from node a to the node obtained by rotating a's bits left
+// by one. n must be a power of two.
+type Shuffle struct{}
+
+// Name implements Pattern.
+func (Shuffle) Name() string { return "shuffle" }
+
+// Dest implements Pattern.
+func (Shuffle) Dest(_ *sim.RNG, src, n int) int {
+	b := log2(n)
+	return (src<<1 | src>>(b-1)) & (n - 1)
+}
+
+// Tornado sends halfway around each dimension of a kxk square network:
+// (x, y) -> (x + ceil(k/2) - 1 mod k, y). It is the classic adversarial
+// pattern for rings and tori.
+type Tornado struct{}
+
+// Name implements Pattern.
+func (Tornado) Name() string { return "tornado" }
+
+// Dest implements Pattern.
+func (Tornado) Dest(_ *sim.RNG, src, n int) int {
+	k := isqrt(n)
+	x, y := src%k, src/k
+	x = (x + (k+1)/2 - 1) % k
+	return y*k + x
+}
+
+// Neighbor sends one hop in the +x direction with wraparound on a kxk
+// square network, the best case for any topology.
+type Neighbor struct{}
+
+// Name implements Pattern.
+func (Neighbor) Name() string { return "neighbor" }
+
+// Dest implements Pattern.
+func (Neighbor) Dest(_ *sim.RNG, src, n int) int {
+	k := isqrt(n)
+	x, y := src%k, src/k
+	x = (x + 1) % k
+	return y*k + x
+}
+
+// Permutation wraps a fixed destination table as a Pattern, used for
+// replaying measured communication matrices.
+type Permutation struct {
+	Label string
+	Table []int
+}
+
+// Name implements Pattern.
+func (p *Permutation) Name() string { return p.Label }
+
+// Dest implements Pattern.
+func (p *Permutation) Dest(_ *sim.RNG, src, n int) int { return p.Table[src] }
+
+// ByName returns the built-in pattern with the given name.
+func ByName(name string) (Pattern, error) {
+	switch name {
+	case "uniform":
+		return Uniform{}, nil
+	case "uniform-noself":
+		return UniformNoSelf{}, nil
+	case "transpose":
+		return Transpose{}, nil
+	case "bitcomp":
+		return BitComplement{}, nil
+	case "bitrev":
+		return BitReversal{}, nil
+	case "shuffle":
+		return Shuffle{}, nil
+	case "tornado":
+		return Tornado{}, nil
+	case "neighbor":
+		return Neighbor{}, nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %q", name)
+	}
+}
+
+// log2 returns floor(log2(n)); it panics unless n is a positive power of
+// two, since the bit-permutation patterns are only defined there.
+func log2(n int) int {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("traffic: pattern requires power-of-two node count, got %d", n))
+	}
+	return bits.TrailingZeros64(uint64(n))
+}
+
+// isqrt returns the integer square root of n; it panics unless n is a
+// perfect square, since the 2D patterns are only defined on square networks.
+func isqrt(n int) int {
+	k := 0
+	for k*k < n {
+		k++
+	}
+	if k*k != n {
+		panic(fmt.Sprintf("traffic: pattern requires square node count, got %d", n))
+	}
+	return k
+}
+
+// SizeDist draws packet lengths in flits.
+type SizeDist interface {
+	// Name returns the distribution's short identifier.
+	Name() string
+	// Sample returns one packet length in flits (>= 1).
+	Sample(rng *sim.RNG) int
+	// Mean returns the expected packet length in flits.
+	Mean() float64
+}
+
+// FixedSize always returns the same packet length.
+type FixedSize int
+
+// Name implements SizeDist.
+func (f FixedSize) Name() string { return fmt.Sprintf("fixed%d", int(f)) }
+
+// Sample implements SizeDist.
+func (f FixedSize) Sample(_ *sim.RNG) int { return int(f) }
+
+// Mean implements SizeDist.
+func (f FixedSize) Mean() float64 { return float64(f) }
+
+// Bimodal mixes two packet lengths, the paper's "1 flit and 4 flit" mix:
+// short control packets and long data packets.
+type Bimodal struct {
+	Short, Long int
+	// PShort is the probability of drawing the short length.
+	PShort float64
+}
+
+// DefaultBimodal is the paper's packet mix: half 1-flit, half 4-flit.
+func DefaultBimodal() Bimodal { return Bimodal{Short: 1, Long: 4, PShort: 0.5} }
+
+// Name implements SizeDist.
+func (b Bimodal) Name() string {
+	return fmt.Sprintf("bimodal%d/%d", b.Short, b.Long)
+}
+
+// Sample implements SizeDist.
+func (b Bimodal) Sample(rng *sim.RNG) int {
+	if rng.Bernoulli(b.PShort) {
+		return b.Short
+	}
+	return b.Long
+}
+
+// Mean implements SizeDist.
+func (b Bimodal) Mean() float64 {
+	return b.PShort*float64(b.Short) + (1-b.PShort)*float64(b.Long)
+}
+
+// Hotspot sends a fraction of traffic to one hot node and the rest
+// uniformly: the classic memory-controller / accelerator contention
+// pattern.
+type Hotspot struct {
+	// Hot is the hotspot node index.
+	Hot int
+	// Fraction of packets targeting the hotspot (the rest are uniform).
+	Fraction float64
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return fmt.Sprintf("hotspot%d@%.2f", h.Hot, h.Fraction) }
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(rng *sim.RNG, src, n int) int {
+	if rng.Bernoulli(h.Fraction) {
+		return h.Hot % n
+	}
+	return rng.Intn(n)
+}
+
+// Process is the temporal side of open-loop traffic: it decides, cycle by
+// cycle and per source, whether a new packet is generated.
+type Process interface {
+	// Name returns the process's short identifier.
+	Name() string
+	// OfferedLoad returns the long-run offered load in flits/cycle/node.
+	OfferedLoad() float64
+	// ShouldInjectAt reports whether the given source generates a packet
+	// this cycle.
+	ShouldInjectAt(rng *sim.RNG, node int) bool
+}
+
+// Bernoulli is the standard open-loop temporal process: each cycle, each
+// source starts a new packet with probability rate/meanLen so that the
+// offered load in flits/cycle/node equals rate.
+type Bernoulli struct {
+	// Rate is the offered load in flits per cycle per node.
+	Rate float64
+	// Sizes draws the packet lengths.
+	Sizes SizeDist
+}
+
+// Name implements Process.
+func (b Bernoulli) Name() string { return "bernoulli" }
+
+// OfferedLoad implements Process.
+func (b Bernoulli) OfferedLoad() float64 { return b.Rate }
+
+// ShouldInject reports whether a new packet is generated this cycle.
+func (b Bernoulli) ShouldInject(rng *sim.RNG) bool {
+	return rng.Bernoulli(b.Rate / b.Sizes.Mean())
+}
+
+// ShouldInjectAt implements Process; Bernoulli sources are memoryless and
+// identical, so the node index is ignored.
+func (b Bernoulli) ShouldInjectAt(rng *sim.RNG, _ int) bool { return b.ShouldInject(rng) }
+
+// OnOff is a two-state Markov-modulated (bursty) injection process in the
+// spirit of Turner's burst-traffic model: each source alternates between
+// an ON state injecting at PeakRate and a silent OFF state, with
+// geometrically distributed sojourn times. The long-run offered load is
+// PeakRate * onFraction.
+type OnOff struct {
+	// PeakRate is the offered load while ON, in flits/cycle/node.
+	PeakRate float64
+	// MeanOn and MeanOff are the expected state sojourn times in cycles.
+	MeanOn, MeanOff float64
+	// Sizes draws packet lengths.
+	Sizes SizeDist
+
+	state []bool // per-node ON flag; lazily initialized
+}
+
+// NewOnOff returns a bursty process for n sources. All sources start OFF
+// at independent random phases.
+func NewOnOff(n int, peak, meanOn, meanOff float64, sizes SizeDist) *OnOff {
+	if meanOn < 1 {
+		meanOn = 1
+	}
+	if meanOff < 1 {
+		meanOff = 1
+	}
+	return &OnOff{
+		PeakRate: peak,
+		MeanOn:   meanOn,
+		MeanOff:  meanOff,
+		Sizes:    sizes,
+		state:    make([]bool, n),
+	}
+}
+
+// Name implements Process.
+func (o *OnOff) Name() string { return "onoff" }
+
+// OfferedLoad implements Process: the long-run average offered load.
+func (o *OnOff) OfferedLoad() float64 {
+	return o.PeakRate * o.MeanOn / (o.MeanOn + o.MeanOff)
+}
+
+// ShouldInjectAt implements Process. State transitions are evaluated per
+// call (one call per node per cycle).
+func (o *OnOff) ShouldInjectAt(rng *sim.RNG, node int) bool {
+	if o.state[node] {
+		if rng.Bernoulli(1 / o.MeanOn) {
+			o.state[node] = false
+		}
+	} else if rng.Bernoulli(1 / o.MeanOff) {
+		o.state[node] = true
+	}
+	if !o.state[node] {
+		return false
+	}
+	return rng.Bernoulli(o.PeakRate / o.Sizes.Mean())
+}
