@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench figures ablations examples clean
+.PHONY: all build vet test race check bench figures ablations examples clean
 
 all: build vet test
 
@@ -15,6 +15,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1 gate: everything that must stay green.
+check: build vet test race
 
 # One testing.B per paper table/figure; each reports its headline metric.
 bench:
@@ -37,6 +43,7 @@ examples:
 	$(GO) run ./examples/fullsystem
 	$(GO) run ./examples/correlation
 	$(GO) run ./examples/tracereplay
+	$(GO) run ./examples/telemetry
 
 clean:
 	rm -rf results

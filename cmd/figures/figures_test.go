@@ -98,6 +98,25 @@ func TestScaleHelper(t *testing.T) {
 	}
 }
 
+func TestHeatmapGenerator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a batch simulation")
+	}
+	c := fastCtx(t)
+	if err := heatmapFig(c); err != nil {
+		t.Fatal(err)
+	}
+	out := read(t, c.out, "heatmap.txt")
+	if !strings.Contains(out, "crossbar utilization") || !strings.Contains(out, "mesh4x4") {
+		t.Errorf("heatmap header missing:\n%s", out)
+	}
+	csv := read(t, c.out, "heatmap.csv")
+	// A 4x4 mesh renders as four CSV rows of four cells.
+	if rows := strings.Count(strings.TrimSpace(csv), "\n") + 1; rows != 4 {
+		t.Errorf("heatmap csv has %d rows, want 4:\n%s", rows, csv)
+	}
+}
+
 func TestFig07Generator(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs two batch simulations")

@@ -77,6 +77,7 @@ func main() {
 	var (
 		fig   = flag.Int("fig", 0, "figure number to regenerate (1-22)")
 		table = flag.Int("table", 0, "table number to regenerate (1-4)")
+		id    = flag.String("id", "", "generator id to regenerate (for ids outside the fig/table numbering, e.g. heatmap)")
 		all   = flag.Bool("all", false, "regenerate every figure and table")
 		out   = flag.String("out", "results", "output directory")
 		full  = flag.Bool("full", false, "paper-scale parameters (slow)")
@@ -100,8 +101,10 @@ func main() {
 		ids = []string{fmt.Sprintf("fig%02d", *fig)}
 	case *table > 0:
 		ids = []string{fmt.Sprintf("table%d", *table)}
+	case *id != "":
+		ids = []string{*id}
 	default:
-		fmt.Fprintln(os.Stderr, "specify -fig N, -table N, or -all; available:")
+		fmt.Fprintln(os.Stderr, "specify -fig N, -table N, -id NAME, or -all; available:")
 		for id := range generators {
 			ids = append(ids, id)
 		}

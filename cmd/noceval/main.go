@@ -16,6 +16,15 @@
 //	-routing dor|val|ma|romm    -vcs 2   -q 16   -tr 1
 //	-arb rr|age   -pattern uniform|transpose|bitcomp|bitrev  -sizes single|bimodal
 //	-seed 1
+//
+// Observability flags (openloop and batch; sweep takes the last three):
+//
+//	-metrics            collect metrics + per-router telemetry, write under -obs-out
+//	-trace              record flit lifecycles, write a Chrome trace (chrome://tracing)
+//	-sample-every 100   telemetry sampling period in cycles
+//	-obs-out dir        output directory (default results/telemetry)
+//	-progress           heartbeat with cycles/sec and ETA on stderr
+//	-cpuprofile f.pprof -memprofile f.pprof
 package main
 
 import (
@@ -156,11 +165,22 @@ func cmdOpenLoop(args []string) error {
 	fs := flag.NewFlagSet("openloop", flag.ExitOnError)
 	p := netFlags(fs)
 	rate := fs.Float64("rate", 0.1, "offered load in flits/cycle/node")
+	oo := obsFlags(fs, true)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := core.OpenLoop(*p, *rate)
+	if err := oo.startProfiling(); err != nil {
+		return err
+	}
+	h := oo.hooks()
+	res, err := core.OpenLoopObserved(*p, *rate, h)
 	if err != nil {
+		return err
+	}
+	if err := oo.writeOutputs(h, p.Topology); err != nil {
+		return err
+	}
+	if err := oo.stopProfiling(); err != nil {
 		return err
 	}
 	fmt.Printf("config: %s\n", p)
@@ -176,7 +196,11 @@ func cmdSweep(args []string) error {
 	p := netFlags(fs)
 	hi := fs.Float64("hi", 0.5, "highest offered load")
 	step := fs.Float64("step", 0.02, "load step")
+	oo := obsFlags(fs, false)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := oo.startProfiling(); err != nil {
 		return err
 	}
 	var rates []float64
@@ -185,6 +209,9 @@ func cmdSweep(args []string) error {
 	}
 	results, err := core.OpenLoopSweep(*p, rates)
 	if err != nil {
+		return err
+	}
+	if err := oo.stopProfiling(); err != nil {
 		return err
 	}
 	fmt.Printf("config: %s\n", p)
@@ -205,6 +232,7 @@ func cmdBatch(args []string) error {
 	kernelStatic := fs.Float64("kstatic", 0, "kernel static traffic fraction")
 	kernelPeriod := fs.Int64("kperiod", 0, "kernel timer period in cycles")
 	kernelBatch := fs.Int("kbatch", 0, "kernel transactions per timer interrupt")
+	oo := obsFlags(fs, true)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -212,7 +240,11 @@ func cmdBatch(args []string) error {
 	if err != nil {
 		return err
 	}
-	bp := core.BatchParams{B: *b, M: *m, NAR: *nar, Reply: reply}
+	if err := oo.startProfiling(); err != nil {
+		return err
+	}
+	h := oo.hooks()
+	bp := core.BatchParams{B: *b, M: *m, NAR: *nar, Reply: reply, Hooks: h}
 	if *kernelStatic > 0 || *kernelPeriod > 0 {
 		bp.Kernel = &closedloop.KernelConfig{
 			StaticFraction: *kernelStatic,
@@ -222,6 +254,12 @@ func cmdBatch(args []string) error {
 	}
 	res, err := core.Batch(*p, bp)
 	if err != nil {
+		return err
+	}
+	if err := oo.writeOutputs(h, p.Topology); err != nil {
+		return err
+	}
+	if err := oo.stopProfiling(); err != nil {
 		return err
 	}
 	fmt.Printf("config: %s  b=%d m=%d nar=%g\n", p, *b, *m, *nar)

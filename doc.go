@@ -15,4 +15,15 @@
 // regenerates every table and figure of the paper. Runnable examples live
 // under examples/. The root-level benchmarks (bench_test.go) provide one
 // testing.B entry per paper table/figure.
+//
+// # Observability
+//
+// internal/obs is the in-flight observability layer: a metrics registry
+// (counters, gauges, histograms), cycle-sampled per-router telemetry with
+// CSV/JSON export and congestion heatmaps, a flit-lifecycle tracer with
+// Chrome trace-event export, and progress/profiling hooks. It attaches to
+// any run through core.Hooks and the -metrics/-trace/-progress flags of
+// cmd/noceval. The layer is opt-in and nil-safe: with no observer
+// attached the per-cycle hot path pays a nil check and performs zero heap
+// allocations (obs_guard_test.go pins this).
 package noceval

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"noceval/internal/network"
+	"noceval/internal/obs"
 	"noceval/internal/router"
 	"noceval/internal/sim"
 	"noceval/internal/stats"
@@ -66,6 +67,13 @@ type BatchConfig struct {
 	// CollectMatrix, when true, accumulates the source/destination flit
 	// matrix (Fig 13).
 	CollectMatrix bool
+
+	// Obs, when non-nil, attaches the observability layer: network metrics
+	// and telemetry, plus a per-node outstanding-request (MSHR depth, the
+	// paper's pf) time series on the observer's sampling schedule.
+	Obs *obs.Observer
+	// Progress, when non-nil, prints run heartbeats.
+	Progress *obs.Progress
 }
 
 func (c *BatchConfig) fillDefaults() {
@@ -172,6 +180,16 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 	rng := sim.NewRNG(cfg.Seed ^ 0xb5297a4d3f84d5b5)
 	replyRNG := rng.Split()
 
+	net.AttachObserver(cfg.Obs)
+	var latencyHist *obs.Histogram
+	var finishedGauge *obs.Gauge
+	var kernelCtr *obs.Counter
+	if cfg.Obs != nil {
+		latencyHist = cfg.Obs.Registry.Histogram("batch.packet_latency_cycles", 0, 1024, 64)
+		finishedGauge = cfg.Obs.Registry.Gauge("batch.finished_nodes")
+		kernelCtr = cfg.Obs.Registry.Counter("batch.kernel_packets")
+	}
+
 	nodes := make([]nodeState, n)
 	staticKernel := 0
 	if cfg.Kernel != nil && cfg.Kernel.StaticFraction > 0 {
@@ -205,6 +223,7 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 			res.KernelPackets++
 			res.KernelFlits += int64(p.Size)
 			bucketKernel += int64(p.Size)
+			kernelCtr.Inc()
 		} else {
 			bucketUser += int64(p.Size)
 		}
@@ -216,6 +235,7 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 	net.OnReceive = func(now int64, p *router.Packet) {
 		latencySum += float64(p.Latency())
 		latencyCnt++
+		latencyHist.Observe(float64(p.Latency()))
 		switch p.Kind {
 		case router.KindRequest:
 			// Schedule the reply after the memory-model delay.
@@ -314,6 +334,14 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 				}
 			}
 		}
+		// Telemetry: per-node outstanding-request depth (the MSHR series),
+		// on the same schedule as the network's router samples.
+		if cfg.Obs != nil && cfg.Obs.ShouldSample(now) {
+			for i := range nodes {
+				cfg.Obs.Telemetry.AddNode(obs.NodeSample{Cycle: now, Node: i, Outstanding: nodes[i].pf})
+			}
+			finishedGauge.Set(float64(finishedNodes()))
+		}
 		// Timeline bucketing.
 		if cfg.SampleInterval > 0 && now-bucketStart >= cfg.SampleInterval {
 			res.Timeline = append(res.Timeline, TimelineSample{
@@ -326,12 +354,14 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 		}
 
 		net.Step()
+		cfg.Progress.Tick(net.Now(), 0)
 
 		if finishedNodes() == n {
 			res.Completed = true
 			break
 		}
 	}
+	cfg.Progress.Done(net.Now())
 
 	if cfg.SampleInterval > 0 && net.Now() > bucketStart {
 		res.Timeline = append(res.Timeline, TimelineSample{

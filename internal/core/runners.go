@@ -6,13 +6,27 @@ import (
 	"noceval/internal/closedloop"
 	"noceval/internal/cmp"
 	"noceval/internal/network"
+	"noceval/internal/obs"
 	"noceval/internal/openloop"
+	"noceval/internal/stats"
+	"noceval/internal/topology"
 	"noceval/internal/workload"
 )
+
+// Hooks carries the optional observability attachments of a run.
+type Hooks struct {
+	Obs      *obs.Observer
+	Progress *obs.Progress
+}
 
 // OpenLoop runs one open-loop measurement at the given offered load
 // (flits/cycle/node) under the Table I parameters.
 func OpenLoop(p NetworkParams, rate float64) (*openloop.Result, error) {
+	return OpenLoopObserved(p, rate, Hooks{})
+}
+
+// OpenLoopObserved is OpenLoop with the observability layer attached.
+func OpenLoopObserved(p NetworkParams, rate float64, h Hooks) (*openloop.Result, error) {
 	netCfg, err := p.Build()
 	if err != nil {
 		return nil, err
@@ -26,12 +40,30 @@ func OpenLoop(p NetworkParams, rate float64) (*openloop.Result, error) {
 		return nil, err
 	}
 	return openloop.Run(openloop.Config{
-		Net:     netCfg,
-		Pattern: pat,
-		Sizes:   sizes,
-		Rate:    rate,
-		Seed:    p.Seed,
+		Net:      netCfg,
+		Pattern:  pat,
+		Sizes:    sizes,
+		Rate:     rate,
+		Seed:     p.Seed,
+		Obs:      h.Obs,
+		Progress: h.Progress,
 	})
+}
+
+// UtilizationHeatmap folds the sampled per-router crossbar utilization
+// into a heatmap shaped like the topology: one cell per router, laid out
+// row-major for 2D grids (meshes and tori) and as a single row otherwise.
+func UtilizationHeatmap(t *obs.Telemetry, topo *topology.Topology) *stats.Heatmap {
+	util := t.MeanXbarUtil(topo.N)
+	rows, cols := 1, topo.N
+	if topo.Dims == 2 {
+		cols, rows = topo.K[0], topo.K[1]
+	}
+	m := stats.NewHeatmap(rows, cols)
+	for node, u := range util {
+		m.Set(node/cols, node%cols, u)
+	}
+	return m
 }
 
 // OpenLoopSweep produces a latency-vs-load curve over the given rates.
@@ -67,6 +99,8 @@ type BatchParams struct {
 	Reply closedloop.ReplyModel
 	// Kernel enables the OS-traffic model.
 	Kernel *closedloop.KernelConfig
+	// Hooks attaches the observability layer.
+	Hooks Hooks
 }
 
 // Batch runs one closed-loop batch-model measurement.
@@ -86,14 +120,16 @@ func Batch(p NetworkParams, bp BatchParams) (*closedloop.BatchResult, error) {
 		bp.M = 1
 	}
 	return closedloop.RunBatch(closedloop.BatchConfig{
-		Net:     netCfg,
-		Pattern: pat,
-		B:       bp.B,
-		M:       bp.M,
-		NAR:     bp.NAR,
-		Reply:   bp.Reply,
-		Kernel:  bp.Kernel,
-		Seed:    p.Seed,
+		Net:      netCfg,
+		Pattern:  pat,
+		B:        bp.B,
+		M:        bp.M,
+		NAR:      bp.NAR,
+		Reply:    bp.Reply,
+		Kernel:   bp.Kernel,
+		Seed:     p.Seed,
+		Obs:      bp.Hooks.Obs,
+		Progress: bp.Hooks.Progress,
 	})
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"noceval/internal/obs"
 	"noceval/internal/router"
 	"noceval/internal/routing"
 	"noceval/internal/sim"
@@ -66,6 +67,24 @@ type Network struct {
 	pktsSent      int64 // packets handed to Send
 	pktsArrived   int64
 	queuedFlits   int64 // flits waiting in source queues
+
+	// Observability state, all nil/empty until AttachObserver: the per-cycle
+	// path pays one nil check when disabled.
+	obs          *obs.Observer
+	tracer       *obs.Tracer
+	nodeInjected []int64 // cumulative terminal flit counts, per node
+	nodeEjected  []int64
+	// prev* hold the cumulative counter values at the previous sample so
+	// each sample reports per-window deltas.
+	prevXbar      []int64
+	prevPort      [][]int64
+	prevInjected  []int64
+	prevEjected   []int64
+	lastSampleAt  int64
+	cFlitInjected *obs.Counter
+	cFlitEjected  *obs.Counter
+	cPktSent      *obs.Counter
+	cPktArrived   *obs.Counter
 }
 
 // New builds a network. It panics on invalid configuration; use
@@ -99,6 +118,89 @@ func New(cfg Config) *Network {
 
 // Config returns the network's configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// AttachObserver wires an observer into the network: aggregate counters
+// register into its metrics registry, routers get the flit tracer, and
+// Step starts taking per-router telemetry samples on the observer's
+// schedule. A nil observer detaches everything (the default).
+func (n *Network) AttachObserver(o *obs.Observer) {
+	n.obs = o
+	if o == nil {
+		n.tracer = nil
+		for _, r := range n.routers {
+			r.SetTracer(nil)
+		}
+		return
+	}
+	n.tracer = o.Tracer
+	for _, r := range n.routers {
+		r.SetTracer(o.Tracer)
+	}
+	reg := o.Registry
+	n.cFlitInjected = reg.Counter("net.flits_injected")
+	n.cFlitEjected = reg.Counter("net.flits_ejected")
+	n.cPktSent = reg.Counter("net.packets_sent")
+	n.cPktArrived = reg.Counter("net.packets_arrived")
+	nodes := n.cfg.Topo.N
+	n.nodeInjected = make([]int64, nodes)
+	n.nodeEjected = make([]int64, nodes)
+	n.prevXbar = make([]int64, nodes)
+	n.prevInjected = make([]int64, nodes)
+	n.prevEjected = make([]int64, nodes)
+	n.prevPort = make([][]int64, nodes)
+	for i := range n.prevPort {
+		n.prevPort[i] = make([]int64, n.cfg.Topo.Radix)
+	}
+	n.lastSampleAt = n.clock.Now()
+}
+
+// Observer returns the attached observer, nil when observability is off.
+func (n *Network) Observer() *obs.Observer { return n.obs }
+
+// sample records one telemetry observation per router for the window that
+// ended at cycle now.
+func (n *Network) sample(now int64) {
+	window := now - n.lastSampleAt
+	if window <= 0 {
+		window = 1
+	}
+	t := n.cfg.Topo
+	tele := n.obs.Telemetry
+	for id, r := range n.routers {
+		xbar := r.FlitsRouted
+		var linkFlits int64
+		links := 0
+		for p := 0; p < t.Radix; p++ {
+			if !t.LinkAt(id, p).Connected() {
+				continue
+			}
+			pf := r.PortFlits(p)
+			linkFlits += pf - n.prevPort[id][p]
+			n.prevPort[id][p] = pf
+			links++
+		}
+		linkUtil := 0.0
+		if links > 0 {
+			linkUtil = float64(linkFlits) / float64(window) / float64(links)
+		}
+		avg, max := r.SampleVCOccupancy()
+		tele.AddRouter(obs.RouterSample{
+			Cycle:    now,
+			Router:   id,
+			XbarUtil: float64(xbar-n.prevXbar[id]) / float64(window),
+			LinkUtil: linkUtil,
+			BufOcc:   r.Occupancy(),
+			AvgVCOcc: avg,
+			MaxVCOcc: max,
+			Injected: n.nodeInjected[id] - n.prevInjected[id],
+			Ejected:  n.nodeEjected[id] - n.prevEjected[id],
+		})
+		n.prevXbar[id] = xbar
+		n.prevInjected[id] = n.nodeInjected[id]
+		n.prevEjected[id] = n.nodeEjected[id]
+	}
+	n.lastSampleAt = now
+}
 
 // Now returns the current cycle.
 func (n *Network) Now() int64 { return n.clock.Now() }
@@ -142,6 +244,7 @@ func (n *Network) Send(p *router.Packet) {
 	}
 	n.pktsSent++
 	n.queuedFlits += int64(p.Size)
+	n.cPktSent.Inc()
 }
 
 // SourceQueueLen returns the number of flits waiting at a node's source
@@ -155,6 +258,9 @@ func (n *Network) Step() {
 	n.inject(now)
 	for _, r := range n.routers {
 		r.Step(now)
+	}
+	if n.obs != nil && n.obs.ShouldSample(now) {
+		n.sample(now)
 	}
 	n.clock.Tick()
 }
@@ -175,9 +281,17 @@ func (n *Network) deliver(now int64) {
 			}
 			if p == local {
 				n.flitsEjected++
+				if n.obs != nil {
+					n.nodeEjected[id]++
+					n.cFlitEjected.Inc()
+				}
 				if f.Tail() {
 					f.P.ArriveTime = now
 					n.pktsArrived++
+					n.cPktArrived.Inc()
+					if n.tracer != nil {
+						n.tracer.Record(now, f.P.ID, id, obs.PhaseEject)
+					}
 					if n.OnReceive != nil {
 						n.OnReceive(now, f.P)
 					}
@@ -199,10 +313,17 @@ func (n *Network) inject(now int64) {
 			f, _ := q.Pop()
 			if f.Head() {
 				f.P.InjectTime = now
+				if n.tracer != nil {
+					n.tracer.Record(now, f.P.ID, node, obs.PhaseInject)
+				}
 			}
 			r.AcceptFlit(n.cfg.Topo.LocalPort(), r.InjectionVC(), f)
 			n.flitsInjected++
 			n.queuedFlits--
+			if n.obs != nil {
+				n.nodeInjected[node]++
+				n.cFlitInjected.Inc()
+			}
 		}
 	}
 }

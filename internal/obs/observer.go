@@ -1,0 +1,81 @@
+package obs
+
+// Options selects which observability features a run enables.
+type Options struct {
+	// Metrics enables the registry and cycle-sampled telemetry.
+	Metrics bool
+	// Trace enables the flit-lifecycle tracer.
+	Trace bool
+	// SampleEvery is the telemetry sampling period in cycles (default 100
+	// when Metrics is set).
+	SampleEvery int64
+	// TraceCap bounds the trace ring buffer (default DefaultTraceCap).
+	TraceCap int
+}
+
+// Observer bundles the observability state of one run: the metrics
+// registry, the sampled telemetry series, and the flit tracer. Components
+// hold an *Observer that is nil when observability is off; every method
+// and every instrument obtained through a nil observer is a no-op, so the
+// disabled hot path pays one nil check and allocates nothing.
+type Observer struct {
+	Registry  *Registry
+	Telemetry *Telemetry
+	Tracer    *Tracer
+
+	sampleEvery int64
+	nextSample  int64
+	lastFired   int64
+}
+
+// NewObserver builds an observer for the selected options. It returns nil
+// when every feature is off, which is the disabled fast path.
+func NewObserver(opts Options) *Observer {
+	if !opts.Metrics && !opts.Trace {
+		return nil
+	}
+	o := &Observer{lastFired: -1}
+	if opts.Metrics {
+		o.Registry = NewRegistry()
+		o.Telemetry = &Telemetry{}
+		o.sampleEvery = opts.SampleEvery
+		if o.sampleEvery <= 0 {
+			o.sampleEvery = 100
+		}
+		o.nextSample = o.sampleEvery
+	}
+	if opts.Trace {
+		o.Tracer = NewTracer(opts.TraceCap)
+	}
+	return o
+}
+
+// SampleEvery returns the telemetry sampling period, 0 when sampling is
+// off.
+func (o *Observer) SampleEvery() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.sampleEvery
+}
+
+// ShouldSample reports whether cycle now is a sampling point. It is
+// idempotent within a cycle — the network and a protocol layer can both
+// ask about the same cycle and both see true — and resynchronizes past
+// skipped cycles the way sim.Ticker does.
+func (o *Observer) ShouldSample(now int64) bool {
+	if o == nil || o.sampleEvery <= 0 {
+		return false
+	}
+	if now == o.lastFired {
+		return true
+	}
+	if now < o.nextSample {
+		return false
+	}
+	for o.nextSample <= now {
+		o.nextSample += o.sampleEvery
+	}
+	o.lastFired = now
+	return true
+}

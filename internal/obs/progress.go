@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Progress prints a heartbeat line while a long run executes: cycles
+// simulated, simulation speed in cycles/sec, and — when the total cycle
+// count is known — percent done and an ETA. It rate-limits itself two
+// ways: the wall clock is consulted only every checkEvery cycles (so Tick
+// is cheap enough for per-cycle call sites), and a line is printed at most
+// once per interval.
+type Progress struct {
+	w          io.Writer
+	interval   time.Duration
+	checkEvery int64
+
+	start     time.Time
+	lastPrint time.Time
+	lastCheck int64
+	lastCycle int64
+	lines     int
+}
+
+// NewProgress returns a heartbeat writer that prints to w at most once per
+// interval (default 2s when interval <= 0).
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	now := time.Now()
+	return &Progress{w: w, interval: interval, checkEvery: 10_000, start: now, lastPrint: now}
+}
+
+// Tick reports that the simulation reached the given cycle; total is the
+// expected run length in cycles, or <= 0 when unknown. A nil Progress is a
+// no-op, and between wall-clock checks Tick costs two compares.
+func (p *Progress) Tick(cycle, total int64) {
+	if p == nil {
+		return
+	}
+	if cycle-p.lastCheck < p.checkEvery {
+		return
+	}
+	p.lastCheck = cycle
+	now := time.Now()
+	since := now.Sub(p.lastPrint)
+	if since < p.interval {
+		return
+	}
+	rate := float64(cycle-p.lastCycle) / since.Seconds()
+	p.lastPrint, p.lastCycle = now, cycle
+	p.lines++
+	if total > cycle && rate > 0 {
+		remaining := time.Duration(float64(total-cycle) / rate * float64(time.Second))
+		fmt.Fprintf(p.w, "progress: cycle %d/%d (%.1f%%), %.3g cycles/s, ETA %s\n",
+			cycle, total, 100*float64(cycle)/float64(total), rate, remaining.Round(time.Second))
+		return
+	}
+	fmt.Fprintf(p.w, "progress: cycle %d, %.3g cycles/s, elapsed %s\n",
+		cycle, rate, now.Sub(p.start).Round(time.Second))
+}
+
+// Done prints a final summary line when at least one heartbeat was
+// printed, so quiet short runs stay quiet. A nil Progress is a no-op.
+func (p *Progress) Done(cycle int64) {
+	if p == nil || p.lines == 0 {
+		return
+	}
+	elapsed := time.Since(p.start)
+	rate := float64(cycle) / elapsed.Seconds()
+	fmt.Fprintf(p.w, "progress: finished at cycle %d in %s (%.3g cycles/s)\n",
+		cycle, elapsed.Round(time.Millisecond), rate)
+}

@@ -1,0 +1,245 @@
+// Package obs is the in-flight observability layer of the evaluation
+// framework: a lightweight metrics registry (counters, gauges, windowed
+// histograms), cycle-sampled per-router telemetry, a flit-lifecycle tracer
+// with Chrome trace-event export, and run-progress heartbeats.
+//
+// Everything in the package is nil-safe: a nil *Observer, *Registry,
+// *Counter, *Gauge, *Histogram, *Tracer or *Progress turns every method
+// into a no-op, so instrumented code pays only a nil check when
+// observability is disabled and the per-cycle hot path stays allocation
+// free (guarded by the benchmark in the repository root).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Inc adds one to the counter. A nil counter is a no-op.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds d to the counter. A nil counter is a no-op.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v += d
+	}
+}
+
+// Value returns the current count, 0 for a nil counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value-wins float64 metric.
+type Gauge struct {
+	name string
+	v    float64
+	set  bool
+}
+
+// Set records the gauge's current value. A nil gauge is a no-op.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v, g.set = v, true
+	}
+}
+
+// Value returns the last value set, 0 for a nil or never-set gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bin histogram over [lo, hi) with underflow and
+// overflow captured in the edge bins. Reset supports windowed use: callers
+// snapshot and clear it once per sample window.
+type Histogram struct {
+	name     string
+	lo, hi   float64
+	bins     []int64
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+// Observe records one value. A nil histogram is a no-op.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	i := int(float64(len(h.bins)) * (v - h.lo) / (h.hi - h.lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i]++
+}
+
+// Count returns the number of observations, 0 for a nil histogram.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Mean returns the mean of the observations, 0 when empty or nil.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Reset clears the histogram for the next window. A nil histogram is a
+// no-op.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+	for i := range h.bins {
+		h.bins[i] = 0
+	}
+}
+
+// Registry holds the metrics of one run. Components create their
+// instruments through the registry; a nil registry hands back nil
+// instruments, which keeps every recording site a nil check away from
+// free.
+type Registry struct {
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers and returns a named counter. On a nil registry it
+// returns nil, which all Counter methods tolerate.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{name: name}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge registers and returns a named gauge, or nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{name: name}
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// Histogram registers a histogram with the given bin count over [lo, hi),
+// or nil on a nil registry. Degenerate ranges and bin counts are widened
+// to something usable rather than rejected.
+func (r *Registry) Histogram(name string, lo, hi float64, bins int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bins < 1 {
+		bins = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	h := &Histogram{name: name, lo: lo, hi: hi, bins: make([]int64, bins)}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// MetricPoint is one exported metric value.
+type MetricPoint struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"` // "counter", "gauge" or "histogram"
+	Value float64 `json:"value"`
+	// Histogram-only fields.
+	Count int64   `json:"count,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+}
+
+// Snapshot returns every metric's current value, sorted by name (stable
+// across runs, so exports diff cleanly). Histograms export their mean as
+// Value plus count/min/max.
+func (r *Registry) Snapshot() []MetricPoint {
+	if r == nil {
+		return nil
+	}
+	var out []MetricPoint
+	for _, c := range r.counters {
+		out = append(out, MetricPoint{Name: c.name, Kind: "counter", Value: float64(c.v)})
+	}
+	for _, g := range r.gauges {
+		out = append(out, MetricPoint{Name: g.name, Kind: "gauge", Value: g.v})
+	}
+	for _, h := range r.hists {
+		out = append(out, MetricPoint{Name: h.name, Kind: "histogram",
+			Value: h.Mean(), Count: h.count, Min: h.min, Max: h.max})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// JSON renders the snapshot as an indented JSON array.
+func (r *Registry) JSON() ([]byte, error) {
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = []MetricPoint{}
+	}
+	return json.MarshalIndent(snap, "", "  ")
+}
+
+// ParseMetricsJSON parses the output of Registry.JSON back into metric
+// points, for export round-trip tests and downstream tooling.
+func ParseMetricsJSON(data []byte) ([]MetricPoint, error) {
+	var out []MetricPoint
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("obs: parsing metrics JSON: %w", err)
+	}
+	return out, nil
+}
+
+// CSV renders the snapshot as "name,kind,value,count,min,max" rows.
+func (r *Registry) CSV() string {
+	var b strings.Builder
+	b.WriteString("name,kind,value,count,min,max\n")
+	for _, m := range r.Snapshot() {
+		fmt.Fprintf(&b, "%s,%s,%g,%d,%g,%g\n", m.Name, m.Kind, m.Value, m.Count, m.Min, m.Max)
+	}
+	return b.String()
+}

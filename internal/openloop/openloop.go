@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"noceval/internal/network"
+	"noceval/internal/obs"
 	"noceval/internal/router"
 	"noceval/internal/sim"
 	"noceval/internal/stats"
@@ -38,6 +39,12 @@ type Config struct {
 	Measure    int64
 	DrainLimit int64
 	Seed       uint64
+
+	// Obs, when non-nil, attaches the observability layer to the run's
+	// network: metrics, per-router telemetry and flit tracing.
+	Obs *obs.Observer
+	// Progress, when non-nil, prints run heartbeats.
+	Progress *obs.Progress
 }
 
 func (c *Config) fillDefaults() {
@@ -103,6 +110,14 @@ func Run(cfg Config) (*Result, error) {
 	n := net.Nodes()
 	rng := sim.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15)
 
+	net.AttachObserver(cfg.Obs)
+	var latencyHist *obs.Histogram
+	var measuredCtr *obs.Counter
+	if cfg.Obs != nil {
+		latencyHist = cfg.Obs.Registry.Histogram("openloop.packet_latency_cycles", 0, 1024, 64)
+		measuredCtr = cfg.Obs.Registry.Counter("openloop.measured_packets")
+	}
+
 	var (
 		latencies    []float64
 		netLatencies []float64
@@ -121,6 +136,8 @@ func Run(cfg Config) (*Result, error) {
 			return
 		}
 		l := float64(p.Latency())
+		latencyHist.Observe(l)
+		measuredCtr.Inc()
 		latencies = append(latencies, l)
 		netLatencies = append(netLatencies, float64(p.NetworkLatency()))
 		hops = append(hops, float64(p.Hops))
@@ -129,6 +146,9 @@ func Run(cfg Config) (*Result, error) {
 		outstanding--
 	}
 
+	// knownCycles is the run length excluding the (unbounded) drain phase,
+	// used for progress ETA.
+	knownCycles := cfg.Warmup + cfg.Measure
 	genPhase := func(cycles int64, measured bool) {
 		for c := int64(0); c < cycles; c++ {
 			for node := 0; node < n; node++ {
@@ -144,6 +164,7 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 			net.Step()
+			cfg.Progress.Tick(net.Now(), knownCycles)
 		}
 	}
 
@@ -200,6 +221,7 @@ func Run(cfg Config) (*Result, error) {
 	if res.Accepted < 0.9*cfg.Rate {
 		res.Stable = false
 	}
+	cfg.Progress.Done(net.Now())
 	return res, nil
 }
 

@@ -3,6 +3,7 @@ package router
 import (
 	"fmt"
 
+	"noceval/internal/obs"
 	"noceval/internal/routing"
 	"noceval/internal/sim"
 	"noceval/internal/topology"
@@ -140,6 +141,10 @@ type Router struct {
 	// portFlits counts flits forwarded through each output port, for
 	// channel-utilization analysis.
 	portFlits []int64
+
+	// tracer, when non-nil, records head-flit lifecycle events
+	// (route/VC-alloc/switch); nil keeps the hot path untouched.
+	tracer *obs.Tracer
 }
 
 // New constructs the router for node id of the given topology. Callers must
@@ -198,6 +203,29 @@ func New(id int, t *topology.Topology, alg routing.Algorithm, cfg Config) *Route
 // router's output port, so credits can be returned.
 func (r *Router) SetUpstream(inPort int, up *Router, upPort int) {
 	r.up[inPort] = upstreamRef{r: up, port: upPort}
+}
+
+// SetTracer attaches a flit-lifecycle tracer (nil detaches it).
+func (r *Router) SetTracer(t *obs.Tracer) { r.tracer = t }
+
+// SampleVCOccupancy returns the average and maximum buffer occupancy in
+// flits across every input VC. It walks all buffers, so it is meant for
+// sampling-time use, not the per-cycle path.
+func (r *Router) SampleVCOccupancy() (avg float64, max int) {
+	vcs := 0
+	for p := 0; p < r.ports; p++ {
+		for v := 0; v < r.cfg.VCs; v++ {
+			n := r.in[p][v].buf.Len()
+			if n > max {
+				max = n
+			}
+			vcs++
+		}
+	}
+	if vcs > 0 {
+		avg = float64(r.occupancy) / float64(vcs)
+	}
+	return avg, max
 }
 
 // classRange maps a routing VC class to its VC index range [lo, hi).
@@ -280,8 +308,8 @@ func (r *Router) Step(now int64) {
 	if r.occupancy == 0 {
 		return
 	}
-	r.routeCompute()
-	r.vcAllocate()
+	r.routeCompute(now)
+	r.vcAllocate(now)
 	r.switchAllocate(now)
 }
 
@@ -307,7 +335,7 @@ func (r *Router) drainCredits(now int64) {
 
 // routeCompute fills in candidates for every input VC whose front flit is
 // an unrouted head.
-func (r *Router) routeCompute() {
+func (r *Router) routeCompute(now int64) {
 	for p := 0; p < r.ports; p++ {
 		for v := 0; v < r.cfg.VCs; v++ {
 			ivc := r.in[p][v]
@@ -323,6 +351,9 @@ func (r *Router) routeCompute() {
 				panic(fmt.Sprintf("router %d: no route for packet %d (dst %d)", r.ID, f.P.ID, f.P.Dst))
 			}
 			ivc.routed = true
+			if r.tracer != nil {
+				r.tracer.Record(now, f.P.ID, r.ID, obs.PhaseRoute)
+			}
 		}
 	}
 }
@@ -331,7 +362,7 @@ func (r *Router) routeCompute() {
 // Requests are served in round-robin or age order; each request picks the
 // free VC with the most credits among its candidates, which doubles as the
 // congestion-sensitive output selection of adaptive routing.
-func (r *Router) vcAllocate() {
+func (r *Router) vcAllocate(now int64) {
 	total := r.ports * r.cfg.VCs
 	order := r.vaOrder()
 	for _, flat := range order {
@@ -357,6 +388,11 @@ func (r *Router) vcAllocate() {
 			ivc.granted = true
 			ivc.outPort, ivc.outVC, ivc.outClass = bestPort, bestVC, bestClass
 			r.out[bestPort][bestVC].owned = true
+			if r.tracer != nil {
+				if f, ok := ivc.buf.Peek(); ok {
+					r.tracer.Record(now, f.P.ID, r.ID, obs.PhaseVCAlloc)
+				}
+			}
 		}
 	}
 	r.vaPtr = (r.vaPtr + 1) % total
@@ -526,6 +562,9 @@ func (r *Router) forward(now int64, p, v int) {
 	r.pipes[outP].Push(now, f)
 	r.inFlight++
 	r.portFlits[outP]++
+	if r.tracer != nil && f.Head() {
+		r.tracer.Record(now, f.P.ID, r.ID, obs.PhaseSwitch)
+	}
 
 	// Return a credit for the buffer slot we just freed.
 	if up := r.up[p]; up.r != nil {

@@ -1,0 +1,56 @@
+package sim
+
+import "testing"
+
+// TestTickerMultiPeriodSkipResync pins the documented Fire behavior for
+// the multi-period-skip case: a call far beyond several missed periods
+// fires exactly once and resynchronizes the schedule to the next multiple
+// of the period, including when the call lands exactly on a multiple.
+func TestTickerMultiPeriodSkipResync(t *testing.T) {
+	tk := NewTicker(10, 10)
+	// Jump over four whole periods (10, 20, 30, 40 all missed) to 47.
+	if !tk.Fire(47) {
+		t.Fatal("skipping several periods lost the fire")
+	}
+	// The skipped periods must not be replayed.
+	for now := int64(48); now < 50; now++ {
+		if tk.Fire(now) {
+			t.Fatalf("replayed a missed period at cycle %d", now)
+		}
+	}
+	// The schedule resynchronized to the next multiple, 50.
+	if !tk.Fire(50) {
+		t.Fatal("did not resynchronize to the next period multiple")
+	}
+
+	// Landing exactly on a multiple after a skip: next fire is the
+	// following multiple, not the same cycle twice.
+	tk = NewTicker(10, 10)
+	if !tk.Fire(70) {
+		t.Fatal("skip landing on a multiple lost the fire")
+	}
+	if tk.Fire(70) {
+		t.Fatal("fired twice for the same cycle")
+	}
+	for now := int64(71); now < 80; now++ {
+		if tk.Fire(now) {
+			t.Fatalf("fired early at cycle %d", now)
+		}
+	}
+	if !tk.Fire(80) {
+		t.Fatal("did not fire at the period after an on-multiple skip")
+	}
+
+	// Repeated long skips: exactly one fire per skip, regardless of how
+	// many periods each skip crosses.
+	tk = NewTicker(7, 7)
+	fires := 0
+	for _, now := range []int64{30, 31, 100, 101, 1000} {
+		if tk.Fire(now) {
+			fires++
+		}
+	}
+	if fires != 3 {
+		t.Fatalf("repeated multi-period skips fired %d times, want 3", fires)
+	}
+}

@@ -1,0 +1,94 @@
+package noceval
+
+// Guards for the observability layer's disabled path: with no observer
+// attached, the per-cycle hot path (Network.Step and everything under it)
+// must not allocate at all, and the enabled/disabled benchmark pair makes
+// any cycles/sec regression visible from `go test -bench Step`.
+
+import (
+	"testing"
+
+	"noceval/internal/core"
+	"noceval/internal/network"
+	"noceval/internal/obs"
+	"noceval/internal/router"
+)
+
+// loadedNetwork builds a mesh4x4 network with deep source queues and a
+// warmed-up steady state, so stepping it exercises the full
+// deliver/inject/route/VA/SA path without any further Sends.
+func loadedNetwork(tb testing.TB, o *obs.Observer, queued, warmup int) *network.Network {
+	tb.Helper()
+	cfg, err := core.Table2Network(1).Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	net := network.New(cfg)
+	net.AttachObserver(o)
+	fill(net, queued)
+	for i := 0; i < warmup; i++ {
+		net.Step()
+	}
+	return net
+}
+
+// fill queues count single-flit packets at every node, each to a distinct
+// non-local destination, spreading traffic across the mesh.
+func fill(net *network.Network, count int) {
+	n := net.Nodes()
+	for i := 0; i < count; i++ {
+		for src := 0; src < n; src++ {
+			dst := (src + 1 + i%(n-1)) % n
+			net.Send(net.NewPacket(src, dst, 1, router.KindData))
+		}
+	}
+}
+
+// TestObsDisabledStepZeroAllocs pins the disabled-path guarantee: once the
+// network reaches steady state, Step performs zero heap allocations when
+// no observer is attached.
+func TestObsDisabledStepZeroAllocs(t *testing.T) {
+	net := loadedNetwork(t, nil, 400, 500)
+	if net.Observer() != nil {
+		t.Fatal("observer attached on the disabled path")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		net.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled-path Step allocates %.2f allocs/op, want 0", allocs)
+	}
+	if flits, _, _, _ := net.Stats(); flits == 0 {
+		t.Fatal("network was idle during the measurement")
+	}
+}
+
+// benchSteps measures steady-state Step throughput, periodically refilling
+// the source queues outside the timer so the network stays loaded however
+// large b.N gets.
+func benchSteps(b *testing.B, o *obs.Observer) {
+	net := loadedNetwork(b, o, 400, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%4096 == 0 {
+			b.StopTimer()
+			fill(net, 300)
+			b.StartTimer()
+		}
+		net.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkStepObsDisabled is the baseline: no observer attached. Its
+// allocs/op must stay 0.
+func BenchmarkStepObsDisabled(b *testing.B) {
+	benchSteps(b, nil)
+}
+
+// BenchmarkStepObsEnabled steps the same load with metrics, telemetry
+// sampling, and flit tracing all on, for a direct overhead comparison.
+func BenchmarkStepObsEnabled(b *testing.B) {
+	benchSteps(b, obs.NewObserver(obs.Options{Metrics: true, Trace: true, SampleEvery: 100}))
+}
