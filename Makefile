@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench figures ablations examples clean
+.PHONY: all build vet fmt-check test race golden golden-update check bench figures ablations examples clean
 
 all: build vet test
 
@@ -13,14 +13,29 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fail if any file is not gofmt-formatted (prints the offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# Tier-1 gate: everything that must stay green.
-check: build vet test race
+# Golden-figure regression gate: regenerate the golden subset and compare
+# against the committed CSVs in results/golden (see cmd/figures/golden_test.go).
+golden:
+	$(GO) test ./cmd/figures -run TestGoldenFigures -count=1 -v
+
+# Rewrite the committed goldens after a deliberate simulator change.
+# Review the resulting diff before committing.
+golden-update:
+	$(GO) run ./cmd/figures -golden -out results/golden
+
+# Tier-1 gate: everything that must stay green. The golden regression
+# test runs as part of `test` (cmd/figures); `golden` re-runs it verbosely.
+check: build vet fmt-check test race
 
 # One testing.B per paper table/figure; each reports its headline metric.
 bench:

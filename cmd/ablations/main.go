@@ -38,7 +38,16 @@ import (
 
 func main() {
 	out := flag.String("out", "", "also write the report to this file")
+	cache := flag.Bool("cache", false, "reuse experiment results from the on-disk cache; cold points are computed and stored")
+	cacheDir := flag.String("cache-dir", ".expcache", "experiment cache directory (with -cache)")
 	flag.Parse()
+
+	if *cache {
+		if err := core.EnableCache(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	var b strings.Builder
 	run := func(name string, fn func(w *strings.Builder) error) {
@@ -64,6 +73,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if s, ok := core.CacheStats(); ok {
+		fmt.Printf("\nexperiment cache: %s\n", s)
 	}
 }
 

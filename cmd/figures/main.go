@@ -16,8 +16,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
+	"noceval/internal/core"
 	"noceval/internal/stats"
 )
 
@@ -75,12 +77,15 @@ func register(id string, fn func(*ctx) error) { generators[id] = fn }
 
 func main() {
 	var (
-		fig   = flag.Int("fig", 0, "figure number to regenerate (1-22)")
-		table = flag.Int("table", 0, "table number to regenerate (1-4)")
-		id    = flag.String("id", "", "generator id to regenerate (for ids outside the fig/table numbering, e.g. heatmap)")
-		all   = flag.Bool("all", false, "regenerate every figure and table")
-		out   = flag.String("out", "results", "output directory")
-		full  = flag.Bool("full", false, "paper-scale parameters (slow)")
+		fig      = flag.Int("fig", 0, "figure number to regenerate (1-22)")
+		table    = flag.Int("table", 0, "table number to regenerate (1-4)")
+		id       = flag.String("id", "", "generator id to regenerate (for ids outside the fig/table numbering, e.g. heatmap)")
+		all      = flag.Bool("all", false, "regenerate every figure and table")
+		golden   = flag.Bool("golden", false, "regenerate the golden regression subset (use -out results/golden)")
+		out      = flag.String("out", "results", "output directory")
+		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
+		cache    = flag.Bool("cache", false, "reuse experiment results from the on-disk cache; cold points are computed and stored")
+		cacheDir = flag.String("cache-dir", ".expcache", "experiment cache directory (with -cache)")
 	)
 	flag.Parse()
 
@@ -88,13 +93,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *cache {
+		if err := core.EnableCache(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	c := &ctx{out: *out, full: *full}
 
 	var ids []string
 	switch {
 	case *all:
+		// The golden subset is excluded: it regenerates scaled-down copies
+		// of curves -all already produces, and its output belongs under
+		// results/golden (see -golden / make golden-update).
 		for id := range generators {
-			ids = append(ids, id)
+			if !strings.HasPrefix(id, "golden") {
+				ids = append(ids, id)
+			}
+		}
+		sort.Strings(ids)
+	case *golden:
+		for id := range generators {
+			if strings.HasPrefix(id, "golden") {
+				ids = append(ids, id)
+			}
 		}
 		sort.Strings(ids)
 	case *fig > 0:
@@ -128,5 +151,8 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if s, ok := core.CacheStats(); ok {
+		fmt.Printf("experiment cache: %s\n", s)
 	}
 }

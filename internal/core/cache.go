@@ -1,0 +1,115 @@
+package core
+
+// The experiment cache: every runner in this package is a pure function
+// of its parameter structs and seed, so results are memoized on disk and
+// reused across figure regenerations, ablation runs, and CI jobs. Lookups
+// happen inside the individual runners, which is where Parallel workers
+// land — a warm sweep stays parallel (all workers hit), and a cold sweep
+// still fans its misses out across cores.
+
+import (
+	"sync/atomic"
+
+	"noceval/internal/closedloop"
+	"noceval/internal/expcache"
+)
+
+// CacheSchemaVersion salts every experiment-cache key. Bump it whenever a
+// change alters simulation results — router timing, RNG streams, traffic
+// processes, methodology defaults — so every stale entry becomes
+// unreachable at once and sweeps recompute from scratch.
+const CacheSchemaVersion = "noceval-core-v1"
+
+// expCache is the process-wide result cache; nil means caching is off.
+// It is an atomic pointer because lookups happen concurrently inside
+// Parallel workers while tests enable and disable caching around them.
+var expCache atomic.Pointer[expcache.Cache]
+
+// EnableCache turns on experiment-result caching for OpenLoop, Batch,
+// Barrier, and Exec runs (and therefore for every sweep and grid built on
+// them), backed by the given directory.
+func EnableCache(dir string) error {
+	c, err := expcache.Open(dir, CacheSchemaVersion)
+	if err != nil {
+		return err
+	}
+	expCache.Store(c)
+	return nil
+}
+
+// DisableCache turns caching back off. Entries on disk are kept.
+func DisableCache() {
+	expCache.Store(nil)
+}
+
+// CacheStats reports cache traffic since EnableCache; ok is false when
+// caching is off.
+func CacheStats() (s expcache.Stats, ok bool) {
+	c := expCache.Load()
+	if c == nil {
+		return expcache.Stats{}, false
+	}
+	return c.Stats(), true
+}
+
+// cached memoizes compute under (kind, cfg) when the cache is enabled.
+// Results are only stored on success, and a failed store never fails the
+// run — the cache can only trade disk for compute, not correctness.
+func cached[T any](kind string, cfg any, compute func() (*T, error)) (*T, error) {
+	c := expCache.Load()
+	if c == nil {
+		return compute()
+	}
+	k, err := c.Key(kind, cfg)
+	if err != nil {
+		return compute()
+	}
+	out := new(T)
+	if c.Get(k, out) {
+		return out, nil
+	}
+	res, err := compute()
+	if err == nil {
+		c.Put(k, res)
+	}
+	return res, err
+}
+
+// openLoopKey is the cache identity of one open-loop point: the full
+// Table I parameter schema plus the offered load and phase lengths.
+// Phases are stored post-default so an explicit 10000 and a zero meaning
+// "default 10000" share an entry.
+type openLoopKey struct {
+	Params  NetworkParams
+	Rate    float64
+	Warmup  int64
+	Measure int64
+	Drain   int64
+}
+
+// batchKey is the cache identity of one batch-model run. The reply model
+// is identified by its Name(), which every model parameterizes with its
+// latency constants (e.g. "fixed20", "prob20+0.10*300"); custom models
+// must follow that convention to be cache-safe.
+type batchKey struct {
+	Params NetworkParams
+	B, M   int
+	NAR    float64
+	Reply  string
+	Kernel *closedloop.KernelConfig
+}
+
+// barrierKey is the cache identity of one barrier-model run.
+type barrierKey struct {
+	Params NetworkParams
+	B      int
+	Phases int
+}
+
+// execKey is the cache identity of one execution-driven run. ExecParams
+// is plain data (benchmark name, clock enum, switches, seed), so it
+// embeds directly.
+type execKey struct {
+	Params NetworkParams
+	Exec   ExecParams
+}

@@ -2,55 +2,21 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"noceval/internal/par"
 )
 
 // Parallel runs n independent experiment closures across worker
 // goroutines and returns the first error encountered (remaining tasks are
 // still executed; simulations are cheap to finish and results stay
-// index-addressed). Every simulator in this repository is deterministic
-// given its seed and shares no mutable state across runs, so experiment
-// sweeps parallelize perfectly.
+// index-addressed). It is a thin wrapper over par.Parallel, kept here so
+// experiment code keeps a single entry point at the framework layer; the
+// pool itself lives in internal/par so methodology packages below core
+// (e.g. openloop's sweep) can share it.
 //
 // workers <= 0 selects GOMAXPROCS.
 func Parallel(n, workers int, task func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := task(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("core: parallel task %d: %w", i, err)
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return firstErr
+	return par.Parallel(n, workers, task)
 }
 
 // BatchGrid runs the batch model over the cross product of network

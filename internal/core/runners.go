@@ -22,32 +22,93 @@ type Hooks struct {
 // OpenLoop runs one open-loop measurement at the given offered load
 // (flits/cycle/node) under the Table I parameters.
 func OpenLoop(p NetworkParams, rate float64) (*openloop.Result, error) {
-	return OpenLoopObserved(p, rate, Hooks{})
+	return OpenLoopWith(p, rate, OpenLoopOpts{})
+}
+
+// OpenLoopOpts overrides the phase lengths of an open-loop run; zero
+// fields keep the openloop defaults (10k warmup, 10k measure, 100k drain
+// limit). The golden regression figures use shortened phases so CI can
+// re-simulate them on every push.
+type OpenLoopOpts struct {
+	Warmup, Measure, DrainLimit int64
+}
+
+// OpenLoopWith is OpenLoop with explicit phase lengths.
+func OpenLoopWith(p NetworkParams, rate float64, o OpenLoopOpts) (*openloop.Result, error) {
+	cfg, err := openLoopConfig(p, o)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Rate = rate
+	return openLoopCached(p, cfg)
 }
 
 // OpenLoopObserved is OpenLoop with the observability layer attached.
+// Observed runs bypass the experiment cache: their value is the metric,
+// telemetry, and trace side effects, which a cache hit would skip.
 func OpenLoopObserved(p NetworkParams, rate float64, h Hooks) (*openloop.Result, error) {
-	netCfg, err := p.Build()
+	if h == (Hooks{}) {
+		return OpenLoop(p, rate)
+	}
+	cfg, err := openLoopConfig(p, OpenLoopOpts{})
 	if err != nil {
 		return nil, err
+	}
+	cfg.Rate = rate
+	cfg.Obs = h.Obs
+	cfg.Progress = h.Progress
+	return openloop.Run(cfg)
+}
+
+// openLoopConfig materializes the openloop configuration of p (without a
+// rate, which sweeps fill per point).
+func openLoopConfig(p NetworkParams, o OpenLoopOpts) (openloop.Config, error) {
+	netCfg, err := p.Build()
+	if err != nil {
+		return openloop.Config{}, err
 	}
 	pat, err := p.BuildPattern()
 	if err != nil {
-		return nil, err
+		return openloop.Config{}, err
 	}
 	sizes, err := p.BuildSizes()
 	if err != nil {
-		return nil, err
+		return openloop.Config{}, err
 	}
-	return openloop.Run(openloop.Config{
-		Net:      netCfg,
-		Pattern:  pat,
-		Sizes:    sizes,
-		Rate:     rate,
-		Seed:     p.Seed,
-		Obs:      h.Obs,
-		Progress: h.Progress,
+	return openloop.Config{
+		Net:        netCfg,
+		Pattern:    pat,
+		Sizes:      sizes,
+		Warmup:     o.Warmup,
+		Measure:    o.Measure,
+		DrainLimit: o.DrainLimit,
+		Seed:       p.Seed,
+	}, nil
+}
+
+// openLoopCached runs one open-loop point through the experiment cache.
+// The key is built from the plain parameter schema (not the materialized
+// config) with phase lengths normalized to their effective values.
+func openLoopCached(p NetworkParams, cfg openloop.Config) (*openloop.Result, error) {
+	key := openLoopKey{
+		Params:  p,
+		Rate:    cfg.Rate,
+		Warmup:  defaulted(cfg.Warmup, openloop.DefaultWarmup),
+		Measure: defaulted(cfg.Measure, openloop.DefaultMeasure),
+		Drain:   defaulted(cfg.DrainLimit, openloop.DefaultDrainLimit),
+	}
+	return cached("openloop", key, func() (*openloop.Result, error) {
+		return openloop.Run(cfg)
 	})
+}
+
+// defaulted normalizes a zero "use the default" knob to its effective
+// value so both spellings share a cache entry.
+func defaulted(v, def int64) int64 {
+	if v == 0 {
+		return def
+	}
+	return v
 }
 
 // UtilizationHeatmap folds the sampled per-router crossbar utilization
@@ -68,24 +129,21 @@ func UtilizationHeatmap(t *obs.Telemetry, topo *topology.Topology) *stats.Heatma
 
 // OpenLoopSweep produces a latency-vs-load curve over the given rates.
 func OpenLoopSweep(p NetworkParams, rates []float64) ([]*openloop.Result, error) {
-	netCfg, err := p.Build()
+	return OpenLoopSweepWith(p, rates, OpenLoopOpts{})
+}
+
+// OpenLoopSweepWith is OpenLoopSweep with explicit phase lengths. Each
+// point goes through the experiment cache individually inside the sweep's
+// parallel waves, so a warm sweep costs only disk reads while a cold one
+// still fans out across cores.
+func OpenLoopSweepWith(p NetworkParams, rates []float64, o OpenLoopOpts) ([]*openloop.Result, error) {
+	cfg, err := openLoopConfig(p, o)
 	if err != nil {
 		return nil, err
 	}
-	pat, err := p.BuildPattern()
-	if err != nil {
-		return nil, err
-	}
-	sizes, err := p.BuildSizes()
-	if err != nil {
-		return nil, err
-	}
-	return openloop.Sweep(openloop.Config{
-		Net:     netCfg,
-		Pattern: pat,
-		Sizes:   sizes,
-		Seed:    p.Seed,
-	}, rates)
+	return openloop.SweepWith(cfg, rates, func(c openloop.Config) (*openloop.Result, error) {
+		return openLoopCached(p, c)
+	})
 }
 
 // BatchParams are the closed-loop batch-model knobs layered on top of the
@@ -119,18 +177,31 @@ func Batch(p NetworkParams, bp BatchParams) (*closedloop.BatchResult, error) {
 	if bp.M == 0 {
 		bp.M = 1
 	}
-	return closedloop.RunBatch(closedloop.BatchConfig{
-		Net:      netCfg,
-		Pattern:  pat,
-		B:        bp.B,
-		M:        bp.M,
-		NAR:      bp.NAR,
-		Reply:    bp.Reply,
-		Kernel:   bp.Kernel,
-		Seed:     p.Seed,
-		Obs:      bp.Hooks.Obs,
-		Progress: bp.Hooks.Progress,
-	})
+	run := func() (*closedloop.BatchResult, error) {
+		return closedloop.RunBatch(closedloop.BatchConfig{
+			Net:      netCfg,
+			Pattern:  pat,
+			B:        bp.B,
+			M:        bp.M,
+			NAR:      bp.NAR,
+			Reply:    bp.Reply,
+			Kernel:   bp.Kernel,
+			Seed:     p.Seed,
+			Obs:      bp.Hooks.Obs,
+			Progress: bp.Hooks.Progress,
+		})
+	}
+	// Observed runs bypass the cache: their side effects (metrics,
+	// telemetry, pf series) are the point.
+	if bp.Hooks != (Hooks{}) {
+		return run()
+	}
+	reply := ""
+	if bp.Reply != nil {
+		reply = bp.Reply.Name()
+	}
+	key := batchKey{Params: p, B: bp.B, M: bp.M, NAR: bp.NAR, Reply: reply, Kernel: bp.Kernel}
+	return cached("batch", key, run)
 }
 
 // Barrier runs one closed-loop barrier-model measurement.
@@ -147,13 +218,15 @@ func Barrier(p NetworkParams, b, phases int) (*closedloop.BarrierResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	return closedloop.RunBarrier(closedloop.BarrierConfig{
-		Net:     netCfg,
-		Pattern: pat,
-		Sizes:   sizes,
-		B:       b,
-		Phases:  phases,
-		Seed:    p.Seed,
+	return cached("barrier", barrierKey{Params: p, B: b, Phases: phases}, func() (*closedloop.BarrierResult, error) {
+		return closedloop.RunBarrier(closedloop.BarrierConfig{
+			Net:     netCfg,
+			Pattern: pat,
+			Sizes:   sizes,
+			B:       b,
+			Phases:  phases,
+			Seed:    p.Seed,
+		})
 	})
 }
 
@@ -180,7 +253,15 @@ func Exec(p NetworkParams, ep ExecParams) (*cmp.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return execProfile(p, ep, prof)
+	// Normalize the effective seed (execProfile falls back to the network
+	// seed) so both spellings share a cache entry.
+	key := execKey{Params: p, Exec: ep}
+	if key.Exec.Seed == 0 {
+		key.Exec.Seed = p.Seed
+	}
+	return cached("exec", key, func() (*cmp.Result, error) {
+		return execProfile(p, ep, prof)
+	})
 }
 
 func execProfile(p NetworkParams, ep ExecParams, prof workload.Profile) (*cmp.Result, error) {

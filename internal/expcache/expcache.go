@@ -1,0 +1,194 @@
+// Package expcache is a content-addressed, on-disk cache for experiment
+// results. Every simulation in this repository is a pure function of its
+// configuration and seed, so a result can be reused whenever the exact
+// configuration reappears — across figure regenerations, ablation runs,
+// and CI jobs.
+//
+// Entries are keyed by a SHA-256 over a canonical JSON encoding of the
+// configuration, prefixed by an experiment kind and a schema-version salt.
+// encoding/json emits struct fields in declaration order and sorts map
+// keys, so the encoding — and therefore the key — is stable across
+// processes. Bumping the salt changes every hash at once, which is how the
+// framework invalidates the whole cache when simulator semantics change in
+// a way that alters results.
+//
+// The cache is safe for concurrent use by the worker goroutines of an
+// experiment sweep: writes land in a temp file and are renamed into place,
+// and a corrupted, truncated, or mismatched entry is treated as a miss
+// (and deleted) rather than an error, so the worst failure mode is
+// recomputation.
+package expcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Cache is one on-disk result store. All methods are safe for concurrent
+// use.
+type Cache struct {
+	dir  string
+	salt string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	puts   atomic.Int64
+	drops  atomic.Int64
+}
+
+// Open returns a cache rooted at dir (created if missing), salted with the
+// given schema version.
+func Open(dir, salt string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("expcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("expcache: %w", err)
+	}
+	return &Cache{dir: dir, salt: salt}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// Key identifies one experiment: a hash over (salt, kind, canonical
+// config). The canonical encoding is kept alongside the hash so Get can
+// verify an entry against the full configuration, not just the digest.
+type Key struct {
+	kind string
+	hash string
+	desc []byte
+}
+
+// Hash returns the hex digest addressing the entry.
+func (k Key) Hash() string { return k.hash }
+
+// Key derives the content address of (kind, cfg). cfg must be
+// JSON-marshalable with deterministic field order (plain structs, no
+// unordered custom marshalers).
+func (c *Cache) Key(kind string, cfg any) (Key, error) {
+	desc, err := json.Marshal(cfg)
+	if err != nil {
+		return Key{}, fmt.Errorf("expcache: encoding %s config: %w", kind, err)
+	}
+	h := sha256.New()
+	// Length-prefix the variable parts so (salt="a", kind="bc") cannot
+	// collide with (salt="ab", kind="c").
+	fmt.Fprintf(h, "%d:%s%d:%s", len(c.salt), c.salt, len(kind), kind)
+	h.Write(desc)
+	return Key{kind: kind, hash: hex.EncodeToString(h.Sum(nil)), desc: desc}, nil
+}
+
+// entry is the on-disk envelope. Salt, kind, and config are stored in
+// full so a hit can be verified exactly (and so entries are
+// self-describing for debugging with plain cat/jq).
+type entry struct {
+	Salt   string          `json:"salt"`
+	Kind   string          `json:"kind"`
+	Config json.RawMessage `json:"config"`
+	Result json.RawMessage `json:"result"`
+}
+
+// path shards entries by kind and the first byte of the hash to keep
+// directories small on big sweeps.
+func (c *Cache) path(k Key) string {
+	return filepath.Join(c.dir, k.kind, k.hash[:2], k.hash+".json")
+}
+
+// Get loads the entry for k into out (a pointer to the result type) and
+// reports whether it was found. Unreadable or mismatched entries are
+// removed and reported as a miss.
+func (c *Cache) Get(k Key, out any) bool {
+	p := c.path(k)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		c.misses.Add(1)
+		return false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil ||
+		e.Salt != c.salt || e.Kind != k.kind || !bytes.Equal(e.Config, k.desc) {
+		c.drop(p)
+		return false
+	}
+	if err := json.Unmarshal(e.Result, out); err != nil {
+		c.drop(p)
+		return false
+	}
+	c.hits.Add(1)
+	return true
+}
+
+// drop removes a corrupted or stale entry and counts it as a miss.
+func (c *Cache) drop(p string) {
+	os.Remove(p)
+	c.drops.Add(1)
+	c.misses.Add(1)
+}
+
+// Put stores result under k. The write is atomic (temp file + rename), so
+// concurrent writers of the same key are safe: both produce identical
+// content, and readers only ever see a complete file.
+func (c *Cache) Put(k Key, result any) error {
+	res, err := json.Marshal(result)
+	if err != nil {
+		return fmt.Errorf("expcache: encoding %s result: %w", k.kind, err)
+	}
+	data, err := json.Marshal(entry{Salt: c.salt, Kind: k.kind, Config: k.desc, Result: res})
+	if err != nil {
+		return fmt.Errorf("expcache: %w", err)
+	}
+	p := c.path(k)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("expcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "put-*")
+	if err != nil {
+		return fmt.Errorf("expcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("expcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("expcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("expcache: %w", err)
+	}
+	c.puts.Add(1)
+	return nil
+}
+
+// Stats summarizes cache traffic since Open.
+type Stats struct {
+	Hits   int64
+	Misses int64
+	Puts   int64
+	// Drops counts corrupted or mismatched entries deleted on read (each
+	// also counts as a miss).
+	Drops int64
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Puts:   c.puts.Load(),
+		Drops:  c.drops.Load(),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d hits, %d misses, %d writes, %d dropped entries", s.Hits, s.Misses, s.Puts, s.Drops)
+}

@@ -1,0 +1,228 @@
+package expcache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type fakeConfig struct {
+	Topology string
+	Rate     float64
+	Seed     uint64
+}
+
+type fakeResult struct {
+	Latency float64
+	Samples []float64
+	Stable  bool
+}
+
+func open(t *testing.T, salt string) *Cache {
+	t.Helper()
+	c, err := Open(filepath.Join(t.TempDir(), "cache"), salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := open(t, "v1")
+	cfg := fakeConfig{Topology: "mesh8x8", Rate: 0.2, Seed: 1}
+	k, err := c.Key("openloop", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got fakeResult
+	if c.Get(k, &got) {
+		t.Fatal("hit on empty cache")
+	}
+	want := fakeResult{Latency: 12.25, Samples: []float64{1, 2, 3}, Stable: true}
+	if err := c.Put(k, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(k, &got) {
+		t.Fatal("miss after put")
+	}
+	if got.Latency != want.Latency || !got.Stable || len(got.Samples) != 3 || got.Samples[2] != 3 {
+		t.Errorf("round trip mangled result: %+v", got)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 || s.Drops != 0 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 put", s)
+	}
+}
+
+func TestKeyIsStableAndSensitive(t *testing.T) {
+	c := open(t, "v1")
+	cfg := fakeConfig{Topology: "mesh8x8", Rate: 0.2, Seed: 1}
+	k1, _ := c.Key("openloop", cfg)
+	k2, _ := c.Key("openloop", cfg)
+	if k1.Hash() != k2.Hash() {
+		t.Error("identical configs hashed differently")
+	}
+	cfg.Seed = 2
+	k3, _ := c.Key("openloop", cfg)
+	if k3.Hash() == k1.Hash() {
+		t.Error("seed change did not change the key")
+	}
+	k4, _ := c.Key("batch", fakeConfig{Topology: "mesh8x8", Rate: 0.2, Seed: 1})
+	if k4.Hash() == k1.Hash() {
+		t.Error("kind change did not change the key")
+	}
+}
+
+func TestSchemaSaltInvalidates(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	c1, err := Open(dir, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fakeConfig{Topology: "torus8x8", Rate: 0.3, Seed: 7}
+	k1, _ := c1.Key("openloop", cfg)
+	if err := c1.Put(k1, &fakeResult{Latency: 9}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A bumped schema version must not see v1 entries...
+	c2, err := Open(dir, "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := c2.Key("openloop", cfg)
+	if k2.Hash() == k1.Hash() {
+		t.Fatal("salt did not change the key")
+	}
+	var got fakeResult
+	if c2.Get(k2, &got) {
+		t.Error("v2 cache returned a v1 entry")
+	}
+
+	// ...while reopening at v1 still hits.
+	c3, err := Open(dir, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3, _ := c3.Key("openloop", cfg)
+	if !c3.Get(k3, &got) || got.Latency != 9 {
+		t.Error("v1 entry lost after reopening")
+	}
+}
+
+// entryFiles returns every entry path under the cache root.
+func entryFiles(t *testing.T, c *Cache) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(c.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".json") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+func TestCorruptedEntryIsDroppedNotFatal(t *testing.T) {
+	c := open(t, "v1")
+	cfg := fakeConfig{Topology: "ring64", Rate: 0.1, Seed: 3}
+	k, _ := c.Key("openloop", cfg)
+	if err := c.Put(k, &fakeResult{Latency: 30}); err != nil {
+		t.Fatal(err)
+	}
+	files := entryFiles(t, c)
+	if len(files) != 1 {
+		t.Fatalf("got %d entry files, want 1", len(files))
+	}
+	for _, corrupt := range []string{"", "not json at all", `{"salt":"v1","kind":"openloop"`} {
+		if err := os.WriteFile(files[0], []byte(corrupt), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got fakeResult
+		if c.Get(k, &got) {
+			t.Fatalf("corrupted entry %q reported as hit", corrupt)
+		}
+		if _, err := os.Stat(files[0]); !os.IsNotExist(err) {
+			t.Errorf("corrupted entry %q not removed", corrupt)
+		}
+		// The slot must be reusable after the drop.
+		if err := c.Put(k, &fakeResult{Latency: 30}); err != nil {
+			t.Fatal(err)
+		}
+		if !c.Get(k, &got) || got.Latency != 30 {
+			t.Error("recomputed entry not stored after drop")
+		}
+	}
+	if s := c.Stats(); s.Drops != 3 {
+		t.Errorf("drops = %d, want 3", s.Drops)
+	}
+}
+
+func TestMismatchedConfigSameFileIsDropped(t *testing.T) {
+	// Paranoia path: a file whose envelope doesn't match the key's full
+	// config (as if a hash collision or manual tampering occurred) must be
+	// treated as a miss, not returned as someone else's result.
+	c := open(t, "v1")
+	k, _ := c.Key("openloop", fakeConfig{Topology: "mesh8x8", Rate: 0.2, Seed: 1})
+	if err := c.Put(k, &fakeResult{Latency: 5}); err != nil {
+		t.Fatal(err)
+	}
+	files := entryFiles(t, c)
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), "mesh8x8", "mesh9x9", 1)
+	if err := os.WriteFile(files[0], []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got fakeResult
+	if c.Get(k, &got) {
+		t.Error("tampered config returned as hit")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := open(t, "v1")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				cfg := fakeConfig{Topology: "mesh8x8", Rate: float64(i % 10), Seed: uint64(i % 7)}
+				k, err := c.Key("batch", cfg)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var got fakeResult
+				if c.Get(k, &got) {
+					if got.Latency != cfg.Rate*2 {
+						t.Errorf("wrong result for %+v: %+v", cfg, got)
+					}
+					continue
+				}
+				if err := c.Put(k, &fakeResult{Latency: cfg.Rate * 2}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open("", "v1"); err == nil {
+		t.Error("empty dir accepted")
+	}
+}

@@ -14,9 +14,11 @@ package openloop
 
 import (
 	"fmt"
+	"runtime"
 
 	"noceval/internal/network"
 	"noceval/internal/obs"
+	"noceval/internal/par"
 	"noceval/internal/router"
 	"noceval/internal/sim"
 	"noceval/internal/stats"
@@ -47,15 +49,24 @@ type Config struct {
 	Progress *obs.Progress
 }
 
+// Default phase lengths applied when the corresponding Config fields are
+// zero. Exported so callers that key results by their effective
+// configuration (internal/core's experiment cache) can normalize.
+const (
+	DefaultWarmup     = 10000
+	DefaultMeasure    = 10000
+	DefaultDrainLimit = 100000
+)
+
 func (c *Config) fillDefaults() {
 	if c.Warmup == 0 {
-		c.Warmup = 10000
+		c.Warmup = DefaultWarmup
 	}
 	if c.Measure == 0 {
-		c.Measure = 10000
+		c.Measure = DefaultMeasure
 	}
 	if c.DrainLimit == 0 {
-		c.DrainLimit = 100000
+		c.DrainLimit = DefaultDrainLimit
 	}
 	if c.Sizes == nil {
 		c.Sizes = traffic.FixedSize(1)
@@ -228,18 +239,50 @@ func Run(cfg Config) (*Result, error) {
 // Sweep runs the load sweep producing a latency-vs-offered-load curve
 // (Fig 1, Fig 3, Fig 6a, Fig 9). It stops early once a load is unstable,
 // since every higher load saturates too. Rates are in flits/cycle/node.
+//
+// Stable-region rates are simulated in waves of GOMAXPROCS parallel runs;
+// the serial early-stop contract is preserved exactly: the returned slice
+// is the ordered prefix of rates up to and including the first unstable
+// point, and every result is identical to what a serial loop would have
+// produced (each run is deterministic given its seed).
 func Sweep(cfg Config, rates []float64) ([]*Result, error) {
+	return SweepWith(cfg, rates, Run)
+}
+
+// SweepWith is Sweep with a pluggable runner for the individual rates,
+// letting callers layer caching or instrumentation over the per-point
+// simulation (internal/core routes its experiment cache through here).
+func SweepWith(cfg Config, rates []float64, run func(Config) (*Result, error)) ([]*Result, error) {
 	var out []*Result
-	for _, r := range rates {
-		c := cfg
-		c.Rate = r
-		res, err := Run(c)
-		if err != nil {
-			return out, err
+	wave := runtime.GOMAXPROCS(0)
+	if wave < 1 {
+		wave = 1
+	}
+	for lo := 0; lo < len(rates); lo += wave {
+		hi := min(lo+wave, len(rates))
+		results := make([]*Result, hi-lo)
+		waveErr := par.Parallel(hi-lo, 0, func(i int) error {
+			c := cfg
+			c.Rate = rates[lo+i]
+			res, err := run(c)
+			results[i] = res
+			return err
+		})
+		// Append in rate order up to the first failed or unstable point.
+		// A failure (or instability) at rate i makes any result at a
+		// higher rate unreported, exactly as the serial loop never would
+		// have run it.
+		for _, res := range results {
+			if res == nil {
+				return out, waveErr
+			}
+			out = append(out, res)
+			if !res.Stable {
+				return out, nil
+			}
 		}
-		out = append(out, res)
-		if !res.Stable {
-			break
+		if waveErr != nil {
+			return out, waveErr
 		}
 	}
 	return out, nil

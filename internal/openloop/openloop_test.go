@@ -1,6 +1,7 @@
 package openloop
 
 import (
+	"errors"
 	"testing"
 
 	"noceval/internal/network"
@@ -124,6 +125,69 @@ func TestSweepStopsAfterUnstable(t *testing.T) {
 	}
 	if results[1].Stable {
 		t.Error("second sweep point should be unstable")
+	}
+}
+
+func TestSweepWithEarlyStopAndErrors(t *testing.T) {
+	cfg := Config{Seed: 1}
+	// The runner fakes instability above rate 0.25: even when a wave
+	// speculatively simulates higher rates, they must not be reported.
+	out, err := SweepWith(cfg, []float64{0.1, 0.2, 0.3, 0.4, 0.5}, func(c Config) (*Result, error) {
+		return &Result{Rate: c.Rate, Stable: c.Rate < 0.25}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d results, want 3 (prefix through first unstable)", len(out))
+	}
+	for i, want := range []float64{0.1, 0.2, 0.3} {
+		if out[i].Rate != want {
+			t.Errorf("result %d has rate %.2f, want %.2f", i, out[i].Rate, want)
+		}
+	}
+	if out[0].Stable != true || out[2].Stable != false {
+		t.Error("stability flags lost in parallel sweep")
+	}
+
+	boom := errors.New("boom")
+	out, err = SweepWith(cfg, []float64{0.1, 0.2, 0.3}, func(c Config) (*Result, error) {
+		if c.Rate > 0.15 {
+			return nil, boom
+		}
+		return &Result{Rate: c.Rate, Stable: true}, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+	if len(out) != 1 {
+		t.Errorf("got %d results before the failed rate, want 1", len(out))
+	}
+}
+
+func TestSweepMatchesSerialRuns(t *testing.T) {
+	// The parallel sweep must be a pure reordering of work: every reported
+	// point bit-identical to an isolated serial run of the same rate.
+	cfg := quick(Config{Net: meshConfig(1, 16), Seed: 9})
+	rates := []float64{0.05, 0.15, 0.25}
+	sweep, err := Sweep(cfg, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != len(rates) {
+		t.Fatalf("sweep truncated to %d points", len(sweep))
+	}
+	for i, rate := range rates {
+		c := cfg
+		c.Rate = rate
+		solo, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sweep[i].AvgLatency != solo.AvgLatency || sweep[i].MeasuredPackets != solo.MeasuredPackets {
+			t.Errorf("rate %.2f: sweep (%.6f, %d) != serial (%.6f, %d)",
+				rate, sweep[i].AvgLatency, sweep[i].MeasuredPackets, solo.AvgLatency, solo.MeasuredPackets)
+		}
 	}
 }
 

@@ -1,0 +1,58 @@
+// Package par provides the worker pool shared by experiment sweeps. It
+// lives below the framework layer so that methodology packages (openloop,
+// closedloop) can parallelize their own loops without importing
+// internal/core, which imports them.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Parallel runs n independent task closures across worker goroutines and
+// returns the first error encountered (remaining tasks are still executed;
+// simulations are cheap to finish and results stay index-addressed). Every
+// simulator in this repository is deterministic given its seed and shares
+// no mutable state across runs, so experiment sweeps parallelize
+// perfectly.
+//
+// workers <= 0 selects GOMAXPROCS.
+func Parallel(n, workers int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := task(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("par: parallel task %d: %w", i, err)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,40 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelRunsEveryTaskDespiteErrors(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := Parallel(50, 4, func(i int) error {
+		ran.Add(1)
+		if i%10 == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+	if ran.Load() != 50 {
+		t.Errorf("ran %d tasks, want all 50 (failures must not cancel siblings)", ran.Load())
+	}
+}
+
+func TestParallelEdgeCases(t *testing.T) {
+	if err := Parallel(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("zero tasks returned %v", err)
+	}
+	done := make([]atomic.Bool, 7)
+	if err := Parallel(7, 100, func(i int) error { done[i].Store(true); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := range done {
+		if !done[i].Load() {
+			t.Fatalf("task %d skipped", i)
+		}
+	}
+}
