@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race golden golden-update check bench figures ablations examples clean
+.PHONY: all build vet fmt-check test race golden golden-update check bench bench-compare figures ablations examples clean
 
 all: build vet test
 
@@ -40,6 +40,22 @@ check: build vet fmt-check test race
 # One testing.B per paper table/figure; each reports its headline metric.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Compare the legacy full-scan cycle loop against the activity-tracked
+# engine on the idle-heavy benchmarks, 5 runs each. The engine=fullscan /
+# engine=activeset sub-benchmark results are split into two files with a
+# common benchmark name so benchstat can pair them; when benchstat is not
+# installed the raw per-run numbers are still left in results/.
+bench-compare:
+	@mkdir -p results
+	$(GO) test -run '^$$' -bench 'IdleOpenLoopLowLoad|IdleBatchTail' -benchtime=10x -count=5 . | tee results/bench-engines.txt
+	@grep 'engine=fullscan' results/bench-engines.txt | sed 's|/engine=fullscan||' > results/bench-fullscan.txt
+	@grep 'engine=activeset' results/bench-engines.txt | sed 's|/engine=activeset||' > results/bench-activeset.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat results/bench-fullscan.txt results/bench-activeset.txt; \
+	else \
+		echo "benchstat not installed: raw runs left in results/bench-fullscan.txt and results/bench-activeset.txt"; \
+	fi
 
 # Regenerate every paper figure and table into results/.
 figures:

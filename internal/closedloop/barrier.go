@@ -3,6 +3,7 @@ package closedloop
 import (
 	"fmt"
 
+	"noceval/internal/engine"
 	"noceval/internal/network"
 	"noceval/internal/router"
 	"noceval/internal/sim"
@@ -27,6 +28,9 @@ type BarrierConfig struct {
 
 	MaxCycles int64
 	Seed      uint64
+
+	// FullScan runs the legacy per-cycle full scans (see BatchConfig).
+	FullScan bool
 }
 
 // BarrierResult summarizes a barrier-model run.
@@ -65,45 +69,84 @@ func RunBarrier(cfg BarrierConfig) (*BarrierResult, error) {
 	n := net.Nodes()
 	rng := sim.NewRNG(cfg.Seed ^ 0x1d8e4e27c47d124f)
 
-	var totalFlits int64
-	arrived := 0
-	net.OnReceive = func(now int64, p *router.Packet) { arrived++ }
-
 	res := &BarrierResult{}
-	for phase := 0; phase < cfg.Phases; phase++ {
-		phaseStart := net.Now()
-		sent := make([]int, n)
-		arrived = 0
-		injected := 0
-		for {
-			if net.Now() >= cfg.MaxCycles {
-				res.Runtime = net.Now()
-				return res, nil // Completed stays false
-			}
-			// Each node offers one packet per cycle until its quota is
-			// met; the source queue and network backpressure pace actual
-			// injection, so the phase time measures sustainable throughput.
-			for node := 0; node < n; node++ {
-				if sent[node] < cfg.B && net.SourceQueueLen(node) < 2*cfg.Sizes.Sample(rng) {
-					size := cfg.Sizes.Sample(rng)
-					dst := cfg.Pattern.Dest(rng, node, n)
-					net.Send(net.NewPacket(node, dst, size, router.KindData))
-					totalFlits += int64(size)
-					sent[node]++
-					injected++
-				}
-			}
-			net.Step()
-			if injected == n*cfg.B && arrived == injected && net.Quiescent() {
-				break
-			}
-		}
-		res.PhaseRuntime = append(res.PhaseRuntime, net.Now()-phaseStart)
+	d := &barrierDriver{cfg: &cfg, net: net, rng: rng, n: n, res: res, sent: make([]int, n)}
+	net.OnReceive = func(now int64, p *router.Packet) { d.arrived++ }
+
+	net.SetFullScan(cfg.FullScan)
+	_, completed := engine.Run(engine.Config{
+		Net:      net,
+		Deadline: cfg.MaxCycles,
+		FullScan: cfg.FullScan,
+	}, d)
+	res.Runtime = net.Now()
+	if !completed {
+		return res, nil // Completed stays false
 	}
 	res.Completed = true
-	res.Runtime = net.Now()
 	if res.Runtime > 0 {
-		res.Throughput = float64(totalFlits) / float64(res.Runtime) / float64(n)
+		res.Throughput = float64(d.totalFlits) / float64(res.Runtime) / float64(n)
 	}
 	return res, nil
 }
+
+// barrierDriver implements engine.Driver for the barrier model. Done doubles
+// as the phase state machine: a phase is complete when every injected packet
+// has arrived and the network has drained, at which point the driver records
+// the phase runtime and resets for the next one.
+type barrierDriver struct {
+	cfg *BarrierConfig
+	net *network.Network
+	rng *sim.RNG
+	n   int
+	res *BarrierResult
+
+	phase      int
+	phaseStart int64
+	sent       []int
+	arrived    int
+	injected   int
+	totalFlits int64
+}
+
+// Cycle implements engine.Driver: each node offers one packet per cycle
+// until its quota is met; the source queue and network backpressure pace
+// actual injection, so the phase time measures sustainable throughput.
+func (d *barrierDriver) Cycle(now int64) {
+	cfg := d.cfg
+	for node := 0; node < d.n; node++ {
+		if d.sent[node] < cfg.B && d.net.SourceQueueLen(node) < 2*cfg.Sizes.Sample(d.rng) {
+			size := cfg.Sizes.Sample(d.rng)
+			dst := cfg.Pattern.Dest(d.rng, node, d.n)
+			d.net.Send(d.net.NewPacket(node, dst, size, router.KindData))
+			d.totalFlits += int64(size)
+			d.sent[node]++
+			d.injected++
+		}
+	}
+}
+
+// Done implements engine.Driver and advances the phase state machine.
+func (d *barrierDriver) Done(now int64) bool {
+	if d.injected == d.n*d.cfg.B && d.arrived == d.injected && d.net.Quiescent() {
+		d.res.PhaseRuntime = append(d.res.PhaseRuntime, now-d.phaseStart)
+		d.phase++
+		d.phaseStart = now
+		for i := range d.sent {
+			d.sent[i] = 0
+		}
+		d.arrived, d.injected = 0, 0
+		if d.phase == d.cfg.Phases {
+			return true
+		}
+	}
+	return false
+}
+
+// Idle implements engine.Driver. Barrier phases are never idle: injection
+// is backpressure-paced, and the moment the last flit drains the phase is
+// done, so there is no empty stretch to fast-forward over.
+func (d *barrierDriver) Idle(int64) bool { return false }
+
+// NextEvent implements engine.Driver.
+func (d *barrierDriver) NextEvent(int64) int64 { return engine.NoEvent }

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"noceval/internal/engine"
 	"noceval/internal/network"
 	"noceval/internal/obs"
 	"noceval/internal/router"
@@ -74,6 +75,12 @@ type BatchConfig struct {
 	Obs *obs.Observer
 	// Progress, when non-nil, prints run heartbeats.
 	Progress *obs.Progress
+
+	// FullScan runs the legacy per-cycle full scans and disables the
+	// engine's quiescence fast-forward. Bit-identical to the default
+	// activity-tracked path (the determinism regression test proves it);
+	// kept for one release as that test's reference side.
+	FullScan bool
 }
 
 func (c *BatchConfig) fillDefaults() {
@@ -159,6 +166,176 @@ type nodeState struct {
 	finished     bool
 }
 
+// batchDriver implements engine.Driver for the batch model. Each cycle it
+// fires the kernel timer, injects ready replies, and lets every eligible
+// node (unfinished, below the MSHR limit, with work remaining) attempt one
+// request. When no node is eligible — every node is blocked on in-flight
+// requests or scheduled replies — the driver is idle and the engine can
+// fast-forward to the next reply ready time, timer tick, timeline bucket
+// boundary, or telemetry sample.
+type batchDriver struct {
+	cfg   *BatchConfig
+	net   *network.Network
+	rng   *sim.RNG
+	n     int
+	nodes []nodeState
+
+	timer   *sim.Ticker
+	replies *replyHeap
+	res     *BatchResult
+
+	userNAR, kernelNAR float64
+
+	finished   int // nodes whose batch is complete
+	latencySum float64
+	latencyCnt int64
+
+	bucketUser, bucketKernel int64
+	bucketStart              int64
+
+	finishedGauge *obs.Gauge
+	kernelCtr     *obs.Counter
+}
+
+// countInjection accrues the per-class packet/flit accounting for one
+// injected packet.
+func (d *batchDriver) countInjection(p *router.Packet) {
+	d.res.TotalPackets++
+	d.res.TotalFlits += int64(p.Size)
+	if p.Aux&auxKernel != 0 {
+		d.res.KernelPackets++
+		d.res.KernelFlits += int64(p.Size)
+		d.bucketKernel += int64(p.Size)
+		d.kernelCtr.Inc()
+	} else {
+		d.bucketUser += int64(p.Size)
+	}
+	if d.res.Matrix != nil {
+		d.res.Matrix.Addf(p.Src, p.Dst, float64(p.Size))
+	}
+}
+
+// sendRequest injects one request from node toward a pattern-drawn
+// destination.
+func (d *batchDriver) sendRequest(node int, kernel bool) {
+	dst := d.cfg.Pattern.Dest(d.rng, node, d.n)
+	p := d.net.NewPacket(node, dst, d.cfg.ReqSize, router.KindRequest)
+	if kernel {
+		p.Aux = auxKernel
+	}
+	d.net.Send(p)
+	d.countInjection(p)
+	d.nodes[node].pf++
+}
+
+// Cycle implements engine.Driver: timer interrupts, ready replies, request
+// generation, and the periodic telemetry/timeline samples, in exactly the
+// order of the original hand-rolled loop.
+func (d *batchDriver) Cycle(now int64) {
+	cfg := d.cfg
+	// Timer interrupts add kernel work to unfinished nodes.
+	if d.timer != nil && d.timer.Fire(now) {
+		for i := range d.nodes {
+			if !d.nodes[i].finished {
+				d.nodes[i].target += cfg.Kernel.TimerBatch
+				d.nodes[i].kernelTarget += cfg.Kernel.TimerBatch
+			}
+		}
+	}
+	// Inject ready replies.
+	for d.replies.Len() > 0 && (*d.replies)[0].ready <= now {
+		ev := heap.Pop(d.replies).(replyEvent)
+		p := d.net.NewPacket(ev.from, ev.to, ev.size, router.KindReply)
+		if ev.kernel {
+			p.Aux = auxKernel
+		}
+		d.net.Send(p)
+		d.countInjection(p)
+	}
+	// Generate requests: kernel work preempts user work, at most one
+	// new request per node per cycle, subject to the MSHR limit and
+	// the injection-model throttle.
+	for i := range d.nodes {
+		st := &d.nodes[i]
+		if st.finished || st.pf >= cfg.M {
+			continue
+		}
+		kernelRemaining := st.kernelTarget - st.sentKernel
+		userRemaining := (st.target - st.kernelTarget) - st.sentUser
+		switch {
+		case kernelRemaining > 0:
+			if d.rng.Bernoulli(d.kernelNAR) {
+				d.sendRequest(i, true)
+				st.sentKernel++
+			}
+		case userRemaining > 0:
+			if d.rng.Bernoulli(d.userNAR) {
+				d.sendRequest(i, false)
+				st.sentUser++
+			}
+		}
+	}
+	// Telemetry: per-node outstanding-request depth (the MSHR series),
+	// on the same schedule as the network's router samples.
+	if cfg.Obs != nil && cfg.Obs.ShouldSample(now) {
+		for i := range d.nodes {
+			cfg.Obs.Telemetry.AddNode(obs.NodeSample{Cycle: now, Node: i, Outstanding: d.nodes[i].pf})
+		}
+		d.finishedGauge.Set(float64(d.finished))
+	}
+	// Timeline bucketing.
+	if cfg.SampleInterval > 0 && now-d.bucketStart >= cfg.SampleInterval {
+		d.res.Timeline = append(d.res.Timeline, TimelineSample{
+			Cycle:      d.bucketStart,
+			UserRate:   float64(d.bucketUser) / float64(now-d.bucketStart),
+			KernelRate: float64(d.bucketKernel) / float64(now-d.bucketStart),
+		})
+		d.bucketUser, d.bucketKernel = 0, 0
+		d.bucketStart = now
+	}
+}
+
+// Done implements engine.Driver: every node has completed its batch.
+func (d *batchDriver) Done(int64) bool { return d.finished == d.n }
+
+// Idle implements engine.Driver: no node can attempt a request this cycle,
+// so Cycle draws nothing from the RNG and injects nothing until the next
+// scheduled event. This is exactly the eligibility condition of the
+// request-generation loop.
+func (d *batchDriver) Idle(int64) bool {
+	for i := range d.nodes {
+		st := &d.nodes[i]
+		if st.finished || st.pf >= d.cfg.M {
+			continue
+		}
+		if st.kernelTarget > st.sentKernel || (st.target-st.kernelTarget) > st.sentUser {
+			return false
+		}
+	}
+	return true
+}
+
+// NextEvent implements engine.Driver: the earliest of the next scheduled
+// reply, the next kernel timer tick, and the next timeline bucket
+// boundary.
+func (d *batchDriver) NextEvent(int64) int64 {
+	next := engine.NoEvent
+	if d.replies.Len() > 0 {
+		next = (*d.replies)[0].ready
+	}
+	if d.timer != nil {
+		if t := d.timer.Next(); t >= 0 && (next == engine.NoEvent || t < next) {
+			next = t
+		}
+	}
+	if d.cfg.SampleInterval > 0 {
+		if b := d.bucketStart + d.cfg.SampleInterval; next == engine.NoEvent || b < next {
+			next = b
+		}
+	}
+	return next
+}
+
 // auxKernel marks kernel-class transactions in Packet.Aux.
 const auxKernel = 1
 
@@ -210,63 +387,6 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 		res.Matrix = stats.NewHeatmap(n, n)
 	}
 
-	replies := &replyHeap{}
-	var latencySum float64
-	var latencyCnt int64
-	var bucketUser, bucketKernel int64
-	bucketStart := int64(0)
-
-	countInjection := func(p *router.Packet) {
-		res.TotalPackets++
-		res.TotalFlits += int64(p.Size)
-		if p.Aux&auxKernel != 0 {
-			res.KernelPackets++
-			res.KernelFlits += int64(p.Size)
-			bucketKernel += int64(p.Size)
-			kernelCtr.Inc()
-		} else {
-			bucketUser += int64(p.Size)
-		}
-		if res.Matrix != nil {
-			res.Matrix.Addf(p.Src, p.Dst, float64(p.Size))
-		}
-	}
-
-	net.OnReceive = func(now int64, p *router.Packet) {
-		latencySum += float64(p.Latency())
-		latencyCnt++
-		latencyHist.Observe(float64(p.Latency()))
-		switch p.Kind {
-		case router.KindRequest:
-			// Schedule the reply after the memory-model delay.
-			heap.Push(replies, replyEvent{
-				ready:  now + cfg.Reply.Delay(replyRNG),
-				from:   p.Dst,
-				to:     p.Src,
-				size:   cfg.ReplySize,
-				kernel: p.Aux&auxKernel != 0,
-			})
-		case router.KindReply:
-			st := &nodes[p.Dst]
-			st.pf--
-			st.done++
-			if !st.finished && st.done >= st.target {
-				st.finished = true
-				st.finish = now
-			}
-		}
-	}
-
-	finishedNodes := func() int {
-		c := 0
-		for i := range nodes {
-			if nodes[i].finished {
-				c++
-			}
-		}
-		return c
-	}
-
 	userNAR := cfg.NAR
 	if userNAR <= 0 || userNAR > 1 {
 		userNAR = 1
@@ -276,98 +396,62 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 		kernelNAR = cfg.Kernel.KernelNAR
 	}
 
-	sendRequest := func(node int, kernel bool) {
-		dst := cfg.Pattern.Dest(rng, node, n)
-		p := net.NewPacket(node, dst, cfg.ReqSize, router.KindRequest)
-		if kernel {
-			p.Aux = auxKernel
-		}
-		net.Send(p)
-		countInjection(p)
-		nodes[node].pf++
+	d := &batchDriver{
+		cfg:           &cfg,
+		net:           net,
+		rng:           rng,
+		n:             n,
+		nodes:         nodes,
+		timer:         timer,
+		replies:       &replyHeap{},
+		res:           res,
+		userNAR:       userNAR,
+		kernelNAR:     kernelNAR,
+		finishedGauge: finishedGauge,
+		kernelCtr:     kernelCtr,
 	}
 
-	for {
-		now := net.Now()
-		if now >= cfg.MaxCycles {
-			break
-		}
-		// Timer interrupts add kernel work to unfinished nodes.
-		if timer != nil && timer.Fire(now) {
-			for i := range nodes {
-				if !nodes[i].finished {
-					nodes[i].target += cfg.Kernel.TimerBatch
-					nodes[i].kernelTarget += cfg.Kernel.TimerBatch
-				}
-			}
-		}
-		// Inject ready replies.
-		for replies.Len() > 0 && (*replies)[0].ready <= now {
-			ev := heap.Pop(replies).(replyEvent)
-			p := net.NewPacket(ev.from, ev.to, ev.size, router.KindReply)
-			if ev.kernel {
-				p.Aux = auxKernel
-			}
-			net.Send(p)
-			countInjection(p)
-		}
-		// Generate requests: kernel work preempts user work, at most one
-		// new request per node per cycle, subject to the MSHR limit and
-		// the injection-model throttle.
-		for i := range nodes {
-			st := &nodes[i]
-			if st.finished || st.pf >= cfg.M {
-				continue
-			}
-			kernelRemaining := st.kernelTarget - st.sentKernel
-			userRemaining := (st.target - st.kernelTarget) - st.sentUser
-			switch {
-			case kernelRemaining > 0:
-				if rng.Bernoulli(kernelNAR) {
-					sendRequest(i, true)
-					st.sentKernel++
-				}
-			case userRemaining > 0:
-				if rng.Bernoulli(userNAR) {
-					sendRequest(i, false)
-					st.sentUser++
-				}
-			}
-		}
-		// Telemetry: per-node outstanding-request depth (the MSHR series),
-		// on the same schedule as the network's router samples.
-		if cfg.Obs != nil && cfg.Obs.ShouldSample(now) {
-			for i := range nodes {
-				cfg.Obs.Telemetry.AddNode(obs.NodeSample{Cycle: now, Node: i, Outstanding: nodes[i].pf})
-			}
-			finishedGauge.Set(float64(finishedNodes()))
-		}
-		// Timeline bucketing.
-		if cfg.SampleInterval > 0 && now-bucketStart >= cfg.SampleInterval {
-			res.Timeline = append(res.Timeline, TimelineSample{
-				Cycle:      bucketStart,
-				UserRate:   float64(bucketUser) / float64(now-bucketStart),
-				KernelRate: float64(bucketKernel) / float64(now-bucketStart),
+	net.OnReceive = func(now int64, p *router.Packet) {
+		d.latencySum += float64(p.Latency())
+		d.latencyCnt++
+		latencyHist.Observe(float64(p.Latency()))
+		switch p.Kind {
+		case router.KindRequest:
+			// Schedule the reply after the memory-model delay.
+			heap.Push(d.replies, replyEvent{
+				ready:  now + cfg.Reply.Delay(replyRNG),
+				from:   p.Dst,
+				to:     p.Src,
+				size:   cfg.ReplySize,
+				kernel: p.Aux&auxKernel != 0,
 			})
-			bucketUser, bucketKernel = 0, 0
-			bucketStart = now
-		}
-
-		net.Step()
-		cfg.Progress.Tick(net.Now(), 0)
-
-		if finishedNodes() == n {
-			res.Completed = true
-			break
+		case router.KindReply:
+			st := &d.nodes[p.Dst]
+			st.pf--
+			st.done++
+			if !st.finished && st.done >= st.target {
+				st.finished = true
+				st.finish = now
+				d.finished++
+			}
 		}
 	}
+
+	net.SetFullScan(cfg.FullScan)
+	_, completed := engine.Run(engine.Config{
+		Net:      net,
+		Deadline: cfg.MaxCycles,
+		Progress: cfg.Progress,
+		FullScan: cfg.FullScan,
+	}, d)
+	res.Completed = completed
 	cfg.Progress.Done(net.Now())
 
-	if cfg.SampleInterval > 0 && net.Now() > bucketStart {
+	if cfg.SampleInterval > 0 && net.Now() > d.bucketStart {
 		res.Timeline = append(res.Timeline, TimelineSample{
-			Cycle:      bucketStart,
-			UserRate:   float64(bucketUser) / float64(net.Now()-bucketStart),
-			KernelRate: float64(bucketKernel) / float64(net.Now()-bucketStart),
+			Cycle:      d.bucketStart,
+			UserRate:   float64(d.bucketUser) / float64(net.Now()-d.bucketStart),
+			KernelRate: float64(d.bucketKernel) / float64(net.Now()-d.bucketStart),
 		})
 	}
 
@@ -384,8 +468,8 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 		res.Throughput = float64(res.TotalFlits) / float64(res.Runtime) / float64(n)
 		res.ReqThroughput = float64(2*cfg.B) / float64(res.Runtime)
 	}
-	if latencyCnt > 0 {
-		res.AvgPacketLatency = latencySum / float64(latencyCnt)
+	if d.latencyCnt > 0 {
+		res.AvgPacketLatency = d.latencySum / float64(d.latencyCnt)
 	}
 	return res, nil
 }

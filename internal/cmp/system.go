@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"noceval/internal/engine"
 	"noceval/internal/router"
 	"noceval/internal/stats"
 )
@@ -247,42 +248,57 @@ func (s *System) done() bool {
 }
 
 // Run executes the system to completion (or MaxCycles) and returns the
-// result summary.
+// result summary. System itself implements engine.Driver: the cores are
+// the injection process, and the run ends when every core retires its
+// program and the memory system drains.
 func (s *System) Run() *Result {
+	_, completed := engine.Run(engine.Config{
+		Net:      s.fabric,
+		Deadline: s.cfg.MaxCycles,
+	}, s)
+	return s.result(completed)
+}
+
+// Cycle implements engine.Driver: timer interrupts, completed home
+// accesses, one step of every core, and the timeline bucket flush.
+func (s *System) Cycle(now int64) {
 	cfg := s.cfg
-	for {
-		now := s.fabric.Now()
-		if now >= cfg.MaxCycles {
-			break
-		}
-		// Timer interrupts: every period, every still-running core traps.
-		if cfg.TimerPeriod > 0 && cfg.TimerHandlerInsts > 0 && now > 0 && now%cfg.TimerPeriod == 0 {
-			s.timerInterrupts++
-			for _, t := range s.tileArr {
-				if t.state != coreDone {
-					t.kernelPending += cfg.TimerHandlerInsts
-				}
+	// Timer interrupts: every period, every still-running core traps.
+	if cfg.TimerPeriod > 0 && cfg.TimerHandlerInsts > 0 && now > 0 && now%cfg.TimerPeriod == 0 {
+		s.timerInterrupts++
+		for _, t := range s.tileArr {
+			if t.state != coreDone {
+				t.kernelPending += cfg.TimerHandlerInsts
 			}
 		}
-		// Completed home accesses.
-		for len(s.events) > 0 && s.events[0].at <= now {
-			ev := heap.Pop(&s.events).(homeEvent)
-			s.homes[ev.tile].dataArrived(ev.line)
-		}
-		for _, t := range s.tileArr {
-			t.step()
-		}
-		// Timeline bucketing.
-		if cfg.SampleInterval > 0 && now-s.bucketStart >= cfg.SampleInterval {
-			s.flushBucket(now)
-		}
-		s.fabric.Step()
-		if s.done() {
-			return s.result(true)
-		}
 	}
-	return s.result(false)
+	// Completed home accesses.
+	for len(s.events) > 0 && s.events[0].at <= now {
+		ev := heap.Pop(&s.events).(homeEvent)
+		s.homes[ev.tile].dataArrived(ev.line)
+	}
+	for _, t := range s.tileArr {
+		t.step()
+	}
+	// Timeline bucketing.
+	if cfg.SampleInterval > 0 && now-s.bucketStart >= cfg.SampleInterval {
+		s.flushBucket(now)
+	}
 }
+
+// Done implements engine.Driver. The now > 0 guard keeps the first cycle
+// unconditional, matching the pre-engine loop that only checked completion
+// after stepping.
+func (s *System) Done(now int64) bool { return now > 0 && s.done() }
+
+// Idle implements engine.Driver. Execution-driven cores always have work
+// in flight until the run completes (a stalled core is waiting on memory
+// traffic, which keeps the fabric non-quiescent), so the system never
+// declares an idle stretch.
+func (s *System) Idle(int64) bool { return false }
+
+// NextEvent implements engine.Driver.
+func (s *System) NextEvent(int64) int64 { return engine.NoEvent }
 
 func (s *System) flushBucket(now int64) {
 	span := now - s.bucketStart

@@ -1,0 +1,149 @@
+// Package engine owns the cycle loop shared by every run mode. The paper's
+// central claim is that one network model serves open-loop, closed-loop
+// (batch and barrier), and execution-driven evaluation; this package makes
+// that literal: each methodology implements Driver (per-cycle injection,
+// a stop condition, and idle scheduling hints) and Run drives the network,
+// so the four previously hand-rolled `for { inject; net.Step() }` loops
+// share one engine.
+//
+// The engine also owns the simulator's biggest idle-time optimization:
+// when the driver declares itself idle and the network is quiescent, Run
+// fast-forwards the clock to the next scheduled wakeup (a reply-latency
+// completion, a batch timer tick, a telemetry sampling point) instead of
+// ticking empty cycles. Fast-forward is exact, not approximate: a cycle is
+// skipped only when neither the driver (no injections, no RNG draws) nor
+// the network (no flits anywhere) nor the observer (no sample due) would
+// do anything in it, so results are bit-identical to full stepping — the
+// determinism regression tests and the golden-figure gate enforce this.
+package engine
+
+import "noceval/internal/obs"
+
+// NoEvent is returned by Driver.NextEvent when the driver has no scheduled
+// future work.
+const NoEvent = int64(-1)
+
+// Driver is one run methodology's per-cycle behaviour. Run calls, in
+// order and once per simulated cycle: Done (stop check), Cycle (timer
+// ticks, reply injection, request generation — everything the run mode
+// does before the network computes), then Network.Step. Idle and
+// NextEvent exist only to enable fast-forward and are never required for
+// correctness: a driver may conservatively return false/NoEvent.
+type Driver interface {
+	// Cycle performs the driver's work for cycle now, before the network
+	// steps: injections, scheduled events, per-cycle bookkeeping.
+	Cycle(now int64)
+	// Done reports whether the run has completed. It is checked at the top
+	// of every iteration, before the deadline.
+	Done(now int64) bool
+	// Idle reports that Cycle would be a strict no-op — no injections, no
+	// RNG draws, no state changes — for every cycle from now until
+	// NextEvent(now). Only consulted when the network is quiescent.
+	Idle(now int64) bool
+	// NextEvent returns the earliest future cycle at which Cycle must run
+	// again while idle (scheduled reply, timer tick, timeline bucket
+	// boundary), or NoEvent when nothing is scheduled.
+	NextEvent(now int64) int64
+}
+
+// Network is the engine's view of the simulated fabric. *network.Network
+// and the cmp package's Fabric implementations satisfy it.
+type Network interface {
+	// Now returns the current cycle.
+	Now() int64
+	// Step advances the fabric one cycle.
+	Step()
+	// Quiescent reports whether no traffic remains anywhere in the fabric.
+	Quiescent() bool
+}
+
+// FastForwarder is implemented by fabrics whose clock can jump over
+// provably empty cycles. *network.Network implements it; fabrics that do
+// not are always stepped cycle by cycle.
+type FastForwarder interface {
+	// SkipTo advances the clock to the given cycle; the fabric must be
+	// quiescent and the target must not lie beyond NextObsSampleAt.
+	SkipTo(cycle int64)
+	// NextObsSampleAt returns the next telemetry sampling cycle, or -1
+	// when sampling is off.
+	NextObsSampleAt() int64
+}
+
+// Config parameterizes one engine run.
+type Config struct {
+	// Net is the fabric to drive.
+	Net Network
+	// Deadline, when positive, aborts the run once Now reaches it (the
+	// openloop drain limit, the closed-loop MaxCycles). Run then returns
+	// completed == false.
+	Deadline int64
+	// Progress, when non-nil, receives a heartbeat tick after every
+	// stepped cycle (fast-forwarded cycles produce no ticks).
+	Progress *obs.Progress
+	// Horizon, when non-nil, supplies the expected total cycle count for
+	// progress ETAs as a function of the current cycle (the openloop
+	// horizon grows when the run enters its drain phase). Nil means
+	// unknown.
+	Horizon func(now int64) int64
+	// FullScan disables fast-forward, pairing with the network's full-scan
+	// mode to reproduce the legacy cycle loop exactly. Kept for one
+	// release as the determinism regression baseline.
+	FullScan bool
+}
+
+// Run drives the network until the driver completes or the deadline
+// passes, returning the final cycle and whether the driver completed.
+func Run(cfg Config, d Driver) (end int64, completed bool) {
+	net := cfg.Net
+	ff, canSkip := net.(FastForwarder)
+	canSkip = canSkip && !cfg.FullScan
+	for {
+		now := net.Now()
+		if d.Done(now) {
+			return now, true
+		}
+		if cfg.Deadline > 0 && now >= cfg.Deadline {
+			return now, false
+		}
+		if canSkip && d.Idle(now) && net.Quiescent() {
+			if next := wakeAt(cfg, ff, d, now); next > now {
+				ff.SkipTo(next)
+				continue
+			}
+		}
+		d.Cycle(now)
+		net.Step()
+		if cfg.Progress != nil {
+			var h int64
+			if cfg.Horizon != nil {
+				h = cfg.Horizon(net.Now())
+			}
+			cfg.Progress.Tick(net.Now(), h)
+		}
+	}
+}
+
+// wakeAt returns the next cycle at which anything can happen while the
+// run is idle and quiescent: the driver's next scheduled event or the
+// observer's next sampling point, clamped to the deadline. It returns a
+// value <= now when nothing justifies a skip (an event is due now, or
+// nothing is scheduled and there is no deadline to run out).
+func wakeAt(cfg Config, ff FastForwarder, d Driver, now int64) int64 {
+	next := d.NextEvent(now)
+	if s := ff.NextObsSampleAt(); s >= 0 {
+		if s <= now {
+			// A sample is due this very cycle (we just fast-forwarded to
+			// it): the cycle must be stepped, not skipped over.
+			return now
+		}
+		if next == NoEvent || s < next {
+			next = s
+		}
+	}
+	if cfg.Deadline > 0 && (next == NoEvent || next > cfg.Deadline) {
+		// Nothing scheduled before the deadline: every remaining cycle is
+		// empty, so jump straight to the abort point.
+		next = cfg.Deadline
+	}
+	return next
+}

@@ -1,0 +1,169 @@
+package network
+
+import (
+	"testing"
+
+	"noceval/internal/router"
+	"noceval/internal/routing"
+	"noceval/internal/sim"
+	"noceval/internal/topology"
+)
+
+// delivery records one OnReceive callback for cross-run comparison.
+type delivery struct {
+	cycle    int64
+	src, dst int
+	size     int
+}
+
+// driveBursty pushes a bursty pseudo-random load through the network for
+// the given number of cycles: short bursts separated by idle stretches, so
+// the active set repeatedly grows, drains, and empties mid-run. It returns
+// the delivery log. check is called after every step.
+func driveBursty(t *testing.T, n *Network, cycles int64, seed uint64, check func()) []delivery {
+	t.Helper()
+	var log []delivery
+	n.OnReceive = func(now int64, p *router.Packet) {
+		log = append(log, delivery{now, p.Src, p.Dst, p.Size})
+	}
+	trng := sim.NewRNG(seed)
+	for c := int64(0); c < cycles; c++ {
+		// ~12-cycle bursts every 64 cycles: mostly idle.
+		if c%64 < 12 {
+			for node := 0; node < n.Nodes(); node++ {
+				if trng.Bernoulli(0.2) {
+					dst := trng.Intn(n.Nodes())
+					size := 1 + trng.Intn(4)
+					n.Send(n.NewPacket(node, dst, size, router.KindData))
+				}
+			}
+		}
+		n.Step()
+		if check != nil {
+			check()
+		}
+	}
+	return log
+}
+
+// TestActiveSetMatchesFullScan drives two identically seeded networks —
+// one on the legacy full-scan path, one on the activity-tracked path —
+// with the same bursty load and requires bit-identical behaviour: every
+// delivery at the same cycle, the same aggregate stats, and the same
+// network RNG end-state (Valiant routing draws an intermediate per packet,
+// so any divergence in draw order shows up immediately).
+func TestActiveSetMatchesFullScan(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	mk := func() *Network {
+		return New(Config{
+			Topo:    topo,
+			Routing: routing.Valiant{},
+			Router:  router.Config{VCs: 4, BufDepth: 4, Delay: 1},
+			Seed:    7,
+		})
+	}
+	full := mk()
+	full.SetFullScan(true)
+	active := mk()
+
+	logFull := driveBursty(t, full, 4000, 99, nil)
+	logActive := driveBursty(t, active, 4000, 99, nil)
+
+	if len(logFull) != len(logActive) {
+		t.Fatalf("deliveries: fullscan %d, activeset %d", len(logFull), len(logActive))
+	}
+	for i := range logFull {
+		if logFull[i] != logActive[i] {
+			t.Fatalf("delivery %d differs: fullscan %+v, activeset %+v", i, logFull[i], logActive[i])
+		}
+	}
+	fs, fa, ffi, ffe := full.Stats()
+	as, aa, afi, afe := active.Stats()
+	if fs != as || fa != aa || ffi != afi || ffe != afe {
+		t.Fatalf("stats differ: fullscan (%d %d %d %d), activeset (%d %d %d %d)",
+			fs, fa, ffi, ffe, as, aa, afi, afe)
+	}
+	if g, w := active.RNG().Uint64(), full.RNG().Uint64(); g != w {
+		t.Fatalf("network RNG diverged: activeset next draw %d, fullscan %d", g, w)
+	}
+	if err := active.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestActiveSetInvariant checks, after every cycle, the invariant the
+// active-set optimization rests on: every router with buffered flits,
+// pipeline flits, or pending credits is in the active set, and every node
+// with a non-empty source queue has its srcPending bit set. A violated
+// invariant means a router could make progress while being skipped.
+func TestActiveSetInvariant(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	n := New(Config{
+		Topo:    topo,
+		Routing: routing.DOR{},
+		Router:  router.Config{VCs: 2, BufDepth: 4, Delay: 1},
+		Seed:    3,
+	})
+	check := func() {
+		count := 0
+		for i, r := range n.routers {
+			bit := n.active[i>>6]&(1<<uint(i&63)) != 0
+			if bit {
+				count++
+			}
+			if !r.Idle() && !bit {
+				t.Fatalf("cycle %d: router %d busy (occ=%d inflight=%d credits pending) but not in active set",
+					n.Now(), i, r.Occupancy(), r.InFlight())
+			}
+		}
+		if count != n.activeCount {
+			t.Fatalf("cycle %d: activeCount = %d, bitmap has %d", n.Now(), n.activeCount, count)
+		}
+		for node := range n.srcQ {
+			if n.SourceQueueLen(node) > 0 && n.srcPending[node>>6]&(1<<uint(node&63)) == 0 {
+				t.Fatalf("cycle %d: node %d has queued flits but no srcPending bit", n.Now(), node)
+			}
+		}
+	}
+	driveBursty(t, n, 2000, 5, check)
+
+	// Drain completely: the set must empty, making Quiescent O(1)-true.
+	end, drained := n.RunUntilQuiescent(100000)
+	if !drained {
+		t.Fatalf("network failed to drain by cycle %d", end)
+	}
+	if n.activeCount != 0 {
+		t.Fatalf("drained network has activeCount = %d", n.activeCount)
+	}
+	for w, word := range n.active {
+		if word != 0 {
+			t.Fatalf("drained network has active bits in word %d: %#x", w, word)
+		}
+	}
+	if !n.Quiescent() {
+		t.Fatal("drained network not Quiescent")
+	}
+}
+
+// TestSkipToAdvancesClock checks the fast-forward entry points: SkipTo on
+// a quiescent network jumps the clock, and panics on a busy one.
+func TestSkipToAdvancesClock(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	n := New(Config{
+		Topo:    topo,
+		Routing: routing.DOR{},
+		Router:  router.Config{VCs: 2, BufDepth: 4, Delay: 1},
+		Seed:    1,
+	})
+	n.SkipTo(500)
+	if n.Now() != 500 {
+		t.Fatalf("Now = %d after SkipTo(500)", n.Now())
+	}
+	n.Send(n.NewPacket(0, 15, 2, router.KindData))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SkipTo on a non-quiescent network did not panic")
+		}
+	}()
+	n.SkipTo(1000)
+}

@@ -12,6 +12,7 @@ package network
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"noceval/internal/obs"
@@ -61,6 +62,23 @@ type Network struct {
 
 	nextPacketID uint64
 
+	// Activity tracking. active is a bitset over router ids with bit i set
+	// exactly when router i is not idle (it holds buffered flits, in-flight
+	// pipeline flits, or pending credits) — routers register through their
+	// wake callback and are deregistered by Step's compute sweep the cycle
+	// they go idle. activeCount mirrors the popcount so Quiescent is O(1).
+	// srcPending is the analogous bitset over nodes with a nonempty source
+	// queue. Both are iterated in ascending id order, so the active-set
+	// paths visit routers and nodes in exactly the order the full scans do.
+	active      []uint64
+	activeCount int
+	srcPending  []uint64
+	// fullScan restores the pre-activity-tracking per-cycle full scans of
+	// every router and source queue. It exists for one release as the
+	// reference path of the determinism regression test; the bitsets are
+	// still maintained but not consulted.
+	fullScan bool
+
 	// Conservation accounting.
 	flitsInjected int64 // flits that entered a router injection buffer
 	flitsEjected  int64
@@ -100,9 +118,14 @@ func New(cfg Config) *Network {
 		routers: make([]*router.Router, t.N),
 		srcQ:    make([]*sim.FIFO[router.Flit], t.N),
 	}
+	words := (t.N + 63) / 64
+	n.active = make([]uint64, words)
+	n.srcPending = make([]uint64, words)
 	for i := 0; i < t.N; i++ {
 		n.routers[i] = router.New(i, t, cfg.Routing, cfg.Router)
 		n.srcQ[i] = sim.NewFIFO[router.Flit](16)
+		id := i
+		n.routers[i].SetWake(func() { n.markActive(id) })
 	}
 	// Wire upstream references for credit return.
 	for i := 0; i < t.N; i++ {
@@ -118,6 +141,31 @@ func New(cfg Config) *Network {
 
 // Config returns the network's configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// SetFullScan switches the per-cycle loops between the activity-tracked
+// paths (the default) and the legacy full scans over every router, port,
+// and source queue; it also flips the routers to the matching mode, so a
+// full-scan network runs the reference nested-loop compute phases rather
+// than the state-bitmask ones. Both modes are cycle- and bit-identical;
+// full-scan is kept for one release as the reference side of the
+// determinism regression test and will be removed.
+func (n *Network) SetFullScan(v bool) {
+	n.fullScan = v
+	for _, r := range n.routers {
+		r.SetLegacyScan(v)
+	}
+}
+
+// markActive inserts router id into the active set. Idempotent: routers
+// wake on every flit or credit arrival, which can happen while the router
+// is still awaiting its deregistration sweep.
+func (n *Network) markActive(id int) {
+	w, b := id>>6, uint64(1)<<(uint(id)&63)
+	if n.active[w]&b == 0 {
+		n.active[w] |= b
+		n.activeCount++
+	}
+}
 
 // AttachObserver wires an observer into the network: aggregate counters
 // register into its metrics registry, routers get the flit tracer, and
@@ -242,6 +290,7 @@ func (n *Network) Send(p *router.Packet) {
 	for _, f := range router.Flits(p) {
 		n.srcQ[p.Src].Push(f)
 	}
+	n.srcPending[p.Src>>6] |= 1 << (uint(p.Src) & 63)
 	n.pktsSent++
 	n.queuedFlits += int64(p.Size)
 	n.cPktSent.Inc()
@@ -256,8 +305,12 @@ func (n *Network) Step() {
 	now := n.clock.Now()
 	n.deliver(now)
 	n.inject(now)
-	for _, r := range n.routers {
-		r.Step(now)
+	if n.fullScan {
+		for _, r := range n.routers {
+			r.Step(now)
+		}
+	} else {
+		n.stepActive(now)
 	}
 	if n.obs != nil && n.obs.ShouldSample(now) {
 		n.sample(now)
@@ -265,74 +318,150 @@ func (n *Network) Step() {
 	n.clock.Tick()
 }
 
-// deliver moves flits that completed a router/link pipeline into the next
-// input buffer, and hands fully arrived packets to the receiver.
-func (n *Network) deliver(now int64) {
-	t := n.cfg.Topo
-	local := t.LocalPort()
-	for id, r := range n.routers {
-		if r.InFlight() == 0 {
-			continue
-		}
-		for p := 0; p < t.Ports(); p++ {
-			f, ok := r.PopDelivery(now, p)
-			if !ok {
-				continue
+// stepActive runs the compute phase over the active set only, in ascending
+// router-id order (identical to the full scan's visiting order), and
+// deregisters routers that went idle. Routers woken during this sweep by a
+// returning credit are not re-stepped this cycle if their bit lies behind
+// the cursor or inside the current word snapshot; such credit-only wakeups
+// are provably no-op steps (the credit is never ready before the next
+// cycle), so the resulting state matches the full scan exactly.
+func (n *Network) stepActive(now int64) {
+	for w := range n.active {
+		word := n.active[w]
+		for word != 0 {
+			i := bits.TrailingZeros64(word)
+			word &= word - 1
+			r := n.routers[w<<6+i]
+			r.Step(now)
+			if r.Idle() {
+				n.active[w] &^= 1 << uint(i)
+				n.activeCount--
+				r.ClearAwake()
 			}
-			if p == local {
-				n.flitsEjected++
-				if n.obs != nil {
-					n.nodeEjected[id]++
-					n.cFlitEjected.Inc()
-				}
-				if f.Tail() {
-					f.P.ArriveTime = now
-					n.pktsArrived++
-					n.cPktArrived.Inc()
-					if n.tracer != nil {
-						n.tracer.Record(now, f.P.ID, id, obs.PhaseEject)
-					}
-					if n.OnReceive != nil {
-						n.OnReceive(now, f.P)
-					}
-				}
-				continue
-			}
-			link := t.LinkAt(id, p)
-			n.routers[link.To].AcceptFlit(link.ToPort, int(f.VC), f)
 		}
 	}
 }
 
-// inject moves flits from source queues into injection buffers while space
-// remains.
-func (n *Network) inject(now int64) {
-	for node, q := range n.srcQ {
-		r := n.routers[node]
-		for q.Len() > 0 && r.CanAcceptInjection() {
-			f, _ := q.Pop()
-			if f.Head() {
-				f.P.InjectTime = now
-				if n.tracer != nil {
-					n.tracer.Record(now, f.P.ID, node, obs.PhaseInject)
+// deliver moves flits that completed a router/link pipeline into the next
+// input buffer, and hands fully arrived packets to the receiver. The
+// active-set path visits only routers with pipeline flits, and within a
+// router only the ports whose pipelines are nonempty; routers receiving
+// flits during the sweep gain buffered occupancy only, which deliver
+// skips in both paths, so the visiting order is equivalent.
+func (n *Network) deliver(now int64) {
+	if n.fullScan {
+		t := n.cfg.Topo
+		for id, r := range n.routers {
+			if r.InFlight() == 0 {
+				continue
+			}
+			for p := 0; p < t.Ports(); p++ {
+				if f, ok := r.PopDelivery(now, p); ok {
+					n.handleDelivered(now, id, p, f)
 				}
 			}
-			r.AcceptFlit(n.cfg.Topo.LocalPort(), r.InjectionVC(), f)
-			n.flitsInjected++
-			n.queuedFlits--
-			if n.obs != nil {
-				n.nodeInjected[node]++
-				n.cFlitInjected.Inc()
+		}
+		return
+	}
+	for w := range n.active {
+		word := n.active[w]
+		for word != 0 {
+			id := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			r := n.routers[id]
+			for m := r.PipeMask(); m != 0; m &= m - 1 {
+				p := bits.TrailingZeros64(m)
+				if f, ok := r.PopDelivery(now, p); ok {
+					n.handleDelivered(now, id, p, f)
+				}
 			}
 		}
+	}
+}
+
+// handleDelivered routes one flit emerging from router id's output port p:
+// ejection to the terminal (with arrival bookkeeping) or link traversal
+// into the downstream router's input buffer.
+func (n *Network) handleDelivered(now int64, id, p int, f router.Flit) {
+	t := n.cfg.Topo
+	if p == t.LocalPort() {
+		n.flitsEjected++
+		if n.obs != nil {
+			n.nodeEjected[id]++
+			n.cFlitEjected.Inc()
+		}
+		if f.Tail() {
+			f.P.ArriveTime = now
+			n.pktsArrived++
+			n.cPktArrived.Inc()
+			if n.tracer != nil {
+				n.tracer.Record(now, f.P.ID, id, obs.PhaseEject)
+			}
+			if n.OnReceive != nil {
+				n.OnReceive(now, f.P)
+			}
+		}
+		return
+	}
+	link := t.LinkAt(id, p)
+	n.routers[link.To].AcceptFlit(link.ToPort, int(f.VC), f)
+}
+
+// inject moves flits from source queues into injection buffers while space
+// remains. The active-set path visits only nodes with queued flits.
+func (n *Network) inject(now int64) {
+	if n.fullScan {
+		for node := range n.srcQ {
+			n.injectNode(now, node)
+		}
+		return
+	}
+	for w := range n.srcPending {
+		word := n.srcPending[w]
+		for word != 0 {
+			node := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			n.injectNode(now, node)
+		}
+	}
+}
+
+// injectNode drains node's source queue into its injection buffer while
+// space remains, clearing the node's pending bit once the queue empties.
+func (n *Network) injectNode(now int64, node int) {
+	q := n.srcQ[node]
+	r := n.routers[node]
+	for q.Len() > 0 && r.CanAcceptInjection() {
+		f, _ := q.Pop()
+		if f.Head() {
+			f.P.InjectTime = now
+			if n.tracer != nil {
+				n.tracer.Record(now, f.P.ID, node, obs.PhaseInject)
+			}
+		}
+		r.AcceptFlit(n.cfg.Topo.LocalPort(), r.InjectionVC(), f)
+		n.flitsInjected++
+		n.queuedFlits--
+		if n.obs != nil {
+			n.nodeInjected[node]++
+			n.cFlitInjected.Inc()
+		}
+	}
+	if q.Len() == 0 {
+		n.srcPending[node>>6] &^= 1 << (uint(node) & 63)
 	}
 }
 
 // Quiescent reports whether no flits remain anywhere: source queues,
-// input buffers, and pipelines are all empty.
+// input buffers, and pipelines are all empty. With activity tracking it
+// is an O(1) counter check; the active set is exact between Steps (every
+// Step's compute sweep deregisters routers that went idle that cycle).
 func (n *Network) Quiescent() bool {
 	if n.queuedFlits != 0 {
 		return false
+	}
+	if !n.fullScan {
+		return n.activeCount == 0
 	}
 	for _, r := range n.routers {
 		if !r.Idle() {
@@ -341,6 +470,27 @@ func (n *Network) Quiescent() bool {
 	}
 	return true
 }
+
+// ActiveCount returns the number of routers currently in the active set —
+// an instantaneous load signal for telemetry and for sizing the benefit of
+// activity-tracked stepping. Meaningless (always 0) in full-scan mode.
+func (n *Network) ActiveCount() int { return n.activeCount }
+
+// SkipTo advances the clock to the given cycle without simulating the
+// intervening cycles. The network must be quiescent, and callers (the
+// engine's fast-forward) must not skip past an observer sampling point —
+// the engine wakes at NextObsSampleAt so sampled telemetry records the
+// same cycles either way.
+func (n *Network) SkipTo(cycle int64) {
+	if !n.Quiescent() {
+		panic("network: SkipTo on a non-quiescent network")
+	}
+	n.clock.AdvanceTo(cycle)
+}
+
+// NextObsSampleAt returns the next telemetry sampling cycle, or -1 when
+// no observer is attached or sampling is off.
+func (n *Network) NextObsSampleAt() int64 { return n.obs.NextSampleAt() }
 
 // Stats returns the network's cumulative conservation counters.
 func (n *Network) Stats() (pktsSent, pktsArrived, flitsInjected, flitsEjected int64) {

@@ -59,6 +59,17 @@ func (o *Observer) SampleEvery() int64 {
 	return o.sampleEvery
 }
 
+// NextSampleAt returns the next cycle at which ShouldSample will fire, or
+// -1 when sampling is off. The engine's quiescence fast-forward uses it to
+// avoid skipping over a sampling point: telemetry must record the same
+// cycles whether or not idle cycles were simulated explicitly.
+func (o *Observer) NextSampleAt() int64 {
+	if o == nil || o.sampleEvery <= 0 {
+		return -1
+	}
+	return o.nextSample
+}
+
 // ShouldSample reports whether cycle now is a sampling point. It is
 // idempotent within a cycle — the network and a protocol layer can both
 // ask about the same cycle and both see true — and resynchronizes past

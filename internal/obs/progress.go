@@ -63,6 +63,18 @@ func (p *Progress) Tick(cycle, total int64) {
 		cycle, rate, now.Sub(p.start).Round(time.Second))
 }
 
+// Note prints a one-off annotation line (e.g. "drain aborted at
+// DrainLimit"), bypassing the rate limiter: unlike periodic heartbeats, a
+// note marks a condition the user should see exactly once. A nil Progress
+// is a no-op.
+func (p *Progress) Note(cycle int64, format string, args ...any) {
+	if p == nil {
+		return
+	}
+	p.lines++
+	fmt.Fprintf(p.w, "progress: cycle %d: %s\n", cycle, fmt.Sprintf(format, args...))
+}
+
 // Done prints a final summary line when at least one heartbeat was
 // printed, so quiet short runs stay quiet. A nil Progress is a no-op.
 func (p *Progress) Done(cycle int64) {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"noceval/internal/engine"
 	"noceval/internal/network"
 	"noceval/internal/obs"
 	"noceval/internal/par"
@@ -47,6 +48,13 @@ type Config struct {
 	Obs *obs.Observer
 	// Progress, when non-nil, prints run heartbeats.
 	Progress *obs.Progress
+
+	// FullScan runs the legacy per-cycle full scans over every router and
+	// source queue instead of the activity-tracked engine paths. The two
+	// are bit-identical (the determinism regression test proves it);
+	// FullScan exists for one release as that test's reference side and
+	// will then be removed.
+	FullScan bool
 }
 
 // Default phase lengths applied when the corresponding Config fields are
@@ -101,6 +109,75 @@ type Result struct {
 	MeasuredPackets int
 }
 
+// driver implements engine.Driver for the open-loop methodology: every
+// cycle each terminal consults its injection process, so the offered
+// traffic is independent of network state — including during the drain
+// phase, which keeps offering (unmeasured) traffic to hold the network in
+// steady state. Because sources draw from the RNG every cycle, an open-
+// loop run has no skippable cycles; its engine win is the network's
+// activity-tracked stepping.
+type driver struct {
+	cfg  *Config
+	net  *network.Network
+	rng  *sim.RNG
+	proc traffic.Process
+	n    int
+
+	measureFrom, drainFrom int64
+	outstanding            *int
+
+	// bernProb, when non-negative, is the memoryless per-cycle injection
+	// probability of a plain Bernoulli process, hoisted out of the
+	// per-node loop: Cycle makes n draws every cycle of the run, so the
+	// interface dispatch and rate/mean division are worth precomputing.
+	// The RNG draw sequence is identical to calling the process.
+	bernProb float64
+}
+
+// Cycle implements engine.Driver: one injection opportunity per terminal.
+func (d *driver) Cycle(now int64) {
+	measured := now >= d.measureFrom && now < d.drainFrom
+	if d.bernProb >= 0 {
+		for node := 0; node < d.n; node++ {
+			if d.rng.Bernoulli(d.bernProb) {
+				d.emit(node, measured)
+			}
+		}
+		return
+	}
+	for node := 0; node < d.n; node++ {
+		if d.proc.ShouldInjectAt(d.rng, node) {
+			d.emit(node, measured)
+		}
+	}
+}
+
+// emit generates one packet at node, drawing its size and destination in
+// the methodology's fixed order.
+func (d *driver) emit(node int, measured bool) {
+	size := d.cfg.Sizes.Sample(d.rng)
+	dst := d.cfg.Pattern.Dest(d.rng, node, d.n)
+	p := d.net.NewPacket(node, dst, size, router.KindData)
+	if measured {
+		p.Measured = true
+		*d.outstanding++
+	}
+	d.net.Send(p)
+}
+
+// Done implements engine.Driver: the run ends once the measurement phase
+// is over and every tagged packet has arrived.
+func (d *driver) Done(now int64) bool {
+	return now >= d.drainFrom && *d.outstanding == 0
+}
+
+// Idle implements engine.Driver; open-loop sources offer traffic every
+// cycle, so the run never fast-forwards.
+func (d *driver) Idle(int64) bool { return false }
+
+// NextEvent implements engine.Driver.
+func (d *driver) NextEvent(int64) int64 { return engine.NoEvent }
+
 // Run executes one open-loop simulation.
 func Run(cfg Config) (*Result, error) {
 	cfg.fillDefaults()
@@ -138,9 +215,14 @@ func Run(cfg Config) (*Result, error) {
 		outstanding  int
 		ejectedFlits int64
 	)
-	measuring := false
+	// The three-phase schedule in absolute cycles: warmup [0, measureFrom),
+	// measurement [measureFrom, drainFrom), drain [drainFrom, ...). Packets
+	// are tagged by injection cycle and counted by arrival cycle, exactly
+	// as the phase flags of the old hand-rolled loop did.
+	measureFrom := cfg.Warmup
+	drainFrom := cfg.Warmup + cfg.Measure
 	net.OnReceive = func(now int64, p *router.Packet) {
-		if measuring {
+		if now >= measureFrom && now < drainFrom {
 			ejectedFlits += int64(p.Size)
 		}
 		if !p.Measured {
@@ -157,46 +239,36 @@ func Run(cfg Config) (*Result, error) {
 		outstanding--
 	}
 
-	// knownCycles is the run length excluding the (unbounded) drain phase,
-	// used for progress ETA.
-	knownCycles := cfg.Warmup + cfg.Measure
-	genPhase := func(cycles int64, measured bool) {
-		for c := int64(0); c < cycles; c++ {
-			for node := 0; node < n; node++ {
-				if proc.ShouldInjectAt(rng, node) {
-					size := cfg.Sizes.Sample(rng)
-					dst := cfg.Pattern.Dest(rng, node, n)
-					p := net.NewPacket(node, dst, size, router.KindData)
-					if measured {
-						p.Measured = true
-						outstanding++
-					}
-					net.Send(p)
-				}
+	net.SetFullScan(cfg.FullScan)
+	d := &driver{
+		cfg: &cfg, net: net, rng: rng, proc: proc, n: n,
+		measureFrom: measureFrom, drainFrom: drainFrom,
+		outstanding: &outstanding,
+		bernProb:    -1,
+	}
+	if b, ok := proc.(traffic.Bernoulli); ok {
+		d.bernProb = b.Rate / b.Sizes.Mean()
+	}
+	_, stable := engine.Run(engine.Config{
+		Net:      net,
+		Deadline: drainFrom + cfg.DrainLimit,
+		Progress: cfg.Progress,
+		// During warmup and measurement the run length is known exactly;
+		// in the drain phase only the abort bound is, so ETAs report the
+		// worst case instead of a horizon the run has already passed.
+		Horizon: func(now int64) int64 {
+			if now <= drainFrom {
+				return drainFrom
 			}
-			net.Step()
-			cfg.Progress.Tick(net.Now(), knownCycles)
-		}
+			return drainFrom + cfg.DrainLimit
+		},
+		FullScan: cfg.FullScan,
+	}, d)
+	if !stable {
+		cfg.Progress.Note(net.Now(), "drain aborted at DrainLimit (%d cycles) with %d tagged packets outstanding",
+			cfg.DrainLimit, outstanding)
 	}
-
-	genPhase(cfg.Warmup, false)
-	measuring = true
-	measureStart := net.Now()
-	genPhase(cfg.Measure, true)
-	measureCycles := net.Now() - measureStart
-	measuring = false
-
-	// Drain: keep offering traffic so measured packets experience
-	// steady-state contention, until all tagged packets arrive.
-	stable := true
-	drainStart := net.Now()
-	for outstanding > 0 {
-		if net.Now()-drainStart >= cfg.DrainLimit {
-			stable = false
-			break
-		}
-		genPhase(1, false)
-	}
+	measureCycles := cfg.Measure
 
 	res := &Result{
 		Rate:            cfg.Rate,

@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"noceval/internal/obs"
 	"noceval/internal/routing"
@@ -104,6 +105,9 @@ type Router struct {
 	alg   routing.Algorithm
 	cfg   Config
 	ports int
+	// numClasses caches alg.NumClasses(topo); classRange sits on the
+	// per-candidate routing path and must not pay an interface call.
+	numClasses int
 
 	in  [][]*inVC
 	out [][]outVC
@@ -124,6 +128,44 @@ type Router struct {
 	occupancy      int
 	inFlight       int
 	pendingCredits int
+
+	// wake, when non-nil, is invoked whenever the router transitions from
+	// idle to non-idle (a flit or a credit arrives at an idle router). The
+	// network uses it to maintain the active-router set so Step and deliver
+	// touch only routers with work. It must be idempotent.
+	wake func()
+	// awake mirrors the router's membership in the network's active set:
+	// raised when wake fires, lowered by ClearAwake when the network
+	// deregisters the router. It turns the per-arrival idle-transition
+	// check into a single flag test.
+	awake bool
+
+	// maskHot is true when ports*VCs fits in 64 bits, enabling the input-VC
+	// state bitmasks below. The compute phases then iterate only VCs that
+	// can make progress, in the same ascending/rotated order as the full
+	// scans, so the fast path is bit-identical to the fallback. Bit p*VCs+v
+	// denotes input VC (p, v).
+	maskHot bool
+	// legacyScan, set via SetLegacyScan, restores the pre-mask nested-loop
+	// compute phases. The network's full-scan mode enables it so the legacy
+	// path keeps the reference implementation's cost model and exercises
+	// the original scan order as a determinism oracle for the mask paths.
+	legacyScan bool
+	occMask    uint64 // input VC holds at least one flit
+	reqMask    uint64 // front packet routed but not yet granted an output VC
+	gntMask    uint64 // front packet holds an output VC grant
+	// gntPorts folds gntMask per input port: bit p is set while any VC of
+	// input port p holds a grant. Switch allocation's stage 1 nominates
+	// only from these ports.
+	gntPorts uint64
+	// creditMask has bit p set while output port p's credit pipe is
+	// non-empty, so drainCredits touches only ports with credits in
+	// flight. Indexed by port, not by VC, so it needs only ports <= 64.
+	creditMask uint64
+	// pipeMask has bit p set while output port p's pipeline holds at least
+	// one flit, so the deliver phase visits only ports with in-flight work.
+	// Router radix is bounded well below 64 for every supported topology.
+	pipeMask uint64
 
 	// Arbitration state.
 	vaPtr    int
@@ -170,6 +212,8 @@ func New(id int, t *topology.Topology, alg routing.Algorithm, cfg Config) *Route
 		saOutMatch:  make([]bool, ports),
 		portFlits:   make([]int64, ports),
 	}
+	r.maskHot = ports*cfg.VCs <= 64
+	r.numClasses = alg.NumClasses(t)
 	local := t.LocalPort()
 	for p := 0; p < ports; p++ {
 		r.in[p] = make([]*inVC, cfg.VCs)
@@ -208,6 +252,17 @@ func (r *Router) SetUpstream(inPort int, up *Router, upPort int) {
 // SetTracer attaches a flit-lifecycle tracer (nil detaches it).
 func (r *Router) SetTracer(t *obs.Tracer) { r.tracer = t }
 
+// ClearAwake is called by the network when it removes the router from the
+// active set; the next flit or credit arrival fires the wake callback
+// again. Callers must only clear an Idle router, or arrivals would
+// re-register a router that is already registered — harmless (markActive
+// is idempotent) but wasted work.
+func (r *Router) ClearAwake() { r.awake = false }
+
+// SetWake registers the idle-to-active notification callback (nil, the
+// default, disables notification; direct router tests need no network).
+func (r *Router) SetWake(f func()) { r.wake = f }
+
 // SampleVCOccupancy returns the average and maximum buffer occupancy in
 // flits across every input VC. It walks all buffers, so it is meant for
 // sampling-time use, not the per-cycle path.
@@ -233,7 +288,7 @@ func (r *Router) classRange(class int) (lo, hi int) {
 	if class == routing.AnyClass {
 		return 0, r.cfg.VCs
 	}
-	c := r.alg.NumClasses(r.topo)
+	c := r.numClasses
 	lo = class * r.cfg.VCs / c
 	hi = (class + 1) * r.cfg.VCs / c
 	return lo, hi
@@ -246,10 +301,15 @@ func (r *Router) AcceptFlit(port, vc int, f Flit) {
 	if f.Head() {
 		f.P.Route.ArriveAt(r.ID)
 	}
+	if !r.awake && r.wake != nil {
+		r.awake = true
+		r.wake()
+	}
 	if !r.in[port][vc].buf.Push(f) {
 		panic(fmt.Sprintf("router %d: input buffer overflow at port %d vc %d", r.ID, port, vc))
 	}
 	r.occupancy++
+	r.occMask |= 1 << uint(port*r.cfg.VCs+vc)
 }
 
 // CanAcceptInjection reports whether the injection buffer (local port,
@@ -262,11 +322,27 @@ func (r *Router) CanAcceptInjection() bool {
 // source-queue model per the open-loop methodology.
 func (r *Router) InjectionVC() int { return 0 }
 
+// SetLegacyScan toggles the reference nested-loop compute paths. With v
+// true the router ignores its state bitmasks and scans every port and VC
+// exactly the way the pre-optimization implementation did; the masks are
+// still maintained, so the mode can be flipped between runs. The
+// network's full-scan mode uses this to keep the legacy path an honest
+// baseline and the determinism tests a reference-vs-optimized oracle.
+func (r *Router) SetLegacyScan(v bool) {
+	r.legacyScan = v
+	r.maskHot = !v && r.ports*r.cfg.VCs <= 64
+}
+
 // receiveCredit schedules a credit return for output VC (port, vc); it
 // becomes usable after the link delay.
 func (r *Router) receiveCredit(now int64, port, vc int) {
+	if !r.awake && r.wake != nil {
+		r.awake = true
+		r.wake()
+	}
 	r.creditPipes[port].Push(now, vc)
 	r.pendingCredits++
+	r.creditMask |= 1 << uint(port)
 }
 
 // PopDelivery removes the flit, if any, emerging from output port p's
@@ -278,9 +354,16 @@ func (r *Router) PopDelivery(now int64, p int) (Flit, bool) {
 	f, ok := r.pipes[p].PopReady(now)
 	if ok {
 		r.inFlight--
+		if r.pipes[p].Len() == 0 {
+			r.pipeMask &^= 1 << uint(p)
+		}
 	}
 	return f, ok
 }
+
+// PipeMask returns the bitmask of output ports whose pipelines currently
+// hold in-flight flits; the deliver phase iterates only these ports.
+func (r *Router) PipeMask() uint64 { return r.pipeMask }
 
 // PortFlits returns the number of flits forwarded through output port p
 // since construction.
@@ -317,11 +400,29 @@ func (r *Router) drainCredits(now int64) {
 	if r.pendingCredits == 0 {
 		return
 	}
-	for p := 0; p < r.ports; p++ {
-		cp := r.creditPipes[p]
-		if cp == nil {
-			continue
+	if !r.maskHot {
+		for p := 0; p < r.ports; p++ {
+			cp := r.creditPipes[p]
+			if cp == nil {
+				continue
+			}
+			for {
+				vc, ok := cp.PopReady(now)
+				if !ok {
+					break
+				}
+				r.out[p][vc].credits++
+				r.pendingCredits--
+			}
+			if cp.Len() == 0 {
+				r.creditMask &^= 1 << uint(p)
+			}
 		}
+		return
+	}
+	for m := r.creditMask; m != 0; m &= m - 1 {
+		p := bits.TrailingZeros64(m)
+		cp := r.creditPipes[p]
 		for {
 			vc, ok := cp.PopReady(now)
 			if !ok {
@@ -330,31 +431,50 @@ func (r *Router) drainCredits(now int64) {
 			r.out[p][vc].credits++
 			r.pendingCredits--
 		}
+		if cp.Len() == 0 {
+			r.creditMask &^= 1 << uint(p)
+		}
 	}
 }
 
 // routeCompute fills in candidates for every input VC whose front flit is
-// an unrouted head.
+// an unrouted head. Only non-empty VCs can hold one, so the mask path
+// visits exactly the occupied VCs, in the same ascending (port, vc) order
+// as the full scan.
 func (r *Router) routeCompute(now int64) {
+	if r.maskHot {
+		for m := r.occMask; m != 0; m &= m - 1 {
+			flat := bits.TrailingZeros64(m)
+			r.routeVC(now, flat/r.cfg.VCs, flat%r.cfg.VCs)
+		}
+		return
+	}
 	for p := 0; p < r.ports; p++ {
 		for v := 0; v < r.cfg.VCs; v++ {
-			ivc := r.in[p][v]
-			if ivc.routed {
-				continue
-			}
-			f, ok := ivc.buf.Peek()
-			if !ok || !f.Head() {
-				continue
-			}
-			ivc.cands = r.alg.Candidates(r.topo, r.ID, f.P.Dst, &f.P.Route, ivc.cands[:0])
-			if len(ivc.cands) == 0 {
-				panic(fmt.Sprintf("router %d: no route for packet %d (dst %d)", r.ID, f.P.ID, f.P.Dst))
-			}
-			ivc.routed = true
-			if r.tracer != nil {
-				r.tracer.Record(now, f.P.ID, r.ID, obs.PhaseRoute)
-			}
+			r.routeVC(now, p, v)
 		}
+	}
+}
+
+// routeVC routes the front packet of input VC (p, v) if it is an unrouted
+// head flit.
+func (r *Router) routeVC(now int64, p, v int) {
+	ivc := r.in[p][v]
+	if ivc.routed {
+		return
+	}
+	f, ok := ivc.buf.Peek()
+	if !ok || !f.Head() {
+		return
+	}
+	ivc.cands = r.alg.Candidates(r.topo, r.ID, f.P.Dst, &f.P.Route, ivc.cands[:0])
+	if len(ivc.cands) == 0 {
+		panic(fmt.Sprintf("router %d: no route for packet %d (dst %d)", r.ID, f.P.ID, f.P.Dst))
+	}
+	ivc.routed = true
+	r.reqMask |= 1 << uint(p*r.cfg.VCs+v)
+	if r.tracer != nil {
+		r.tracer.Record(now, f.P.ID, r.ID, obs.PhaseRoute)
 	}
 }
 
@@ -364,38 +484,66 @@ func (r *Router) routeCompute(now int64) {
 // congestion-sensitive output selection of adaptive routing.
 func (r *Router) vcAllocate(now int64) {
 	total := r.ports * r.cfg.VCs
-	order := r.vaOrder()
-	for _, flat := range order {
-		p, v := flat/r.cfg.VCs, flat%r.cfg.VCs
-		ivc := r.in[p][v]
-		if !ivc.routed || ivc.granted {
-			continue
-		}
-		bestPort, bestVC, bestClass, bestCred := -1, -1, routing.AnyClass, -1
-		for _, c := range ivc.cands {
-			lo, hi := r.classRange(c.Class)
-			for ov := lo; ov < hi; ov++ {
-				o := &r.out[c.Port][ov]
-				if o.owned {
-					continue
-				}
-				if o.credits > bestCred {
-					bestPort, bestVC, bestClass, bestCred = c.Port, ov, c.Class, o.credits
-				}
+	if r.maskHot && r.cfg.Arb != AgeBased {
+		// Round robin over the request mask: bits >= vaPtr in ascending
+		// order, then the wrap-around below it — exactly the (vaPtr+i)%total
+		// visiting order of the full scan, touching only actual requests.
+		if r.reqMask != 0 {
+			below := uint64(1)<<uint(r.vaPtr) - 1
+			for m := r.reqMask &^ below; m != 0; m &= m - 1 {
+				r.vaTryGrant(now, bits.TrailingZeros64(m))
+			}
+			for m := r.reqMask & below; m != 0; m &= m - 1 {
+				r.vaTryGrant(now, bits.TrailingZeros64(m))
 			}
 		}
-		if bestPort >= 0 {
-			ivc.granted = true
-			ivc.outPort, ivc.outVC, ivc.outClass = bestPort, bestVC, bestClass
-			r.out[bestPort][bestVC].owned = true
-			if r.tracer != nil {
-				if f, ok := ivc.buf.Peek(); ok {
-					r.tracer.Record(now, f.P.ID, r.ID, obs.PhaseVCAlloc)
-				}
+		r.vaPtr++
+		if r.vaPtr >= total {
+			r.vaPtr = 0
+		}
+		return
+	}
+	order := r.vaOrder()
+	for _, flat := range order {
+		r.vaTryGrant(now, flat)
+	}
+	r.vaPtr = (r.vaPtr + 1) % total
+}
+
+// vaTryGrant gives input VC flat the free candidate output VC with the
+// most credits, if it is requesting and one is available.
+func (r *Router) vaTryGrant(now int64, flat int) {
+	p, v := flat/r.cfg.VCs, flat%r.cfg.VCs
+	ivc := r.in[p][v]
+	if !ivc.routed || ivc.granted {
+		return
+	}
+	bestPort, bestVC, bestClass, bestCred := -1, -1, routing.AnyClass, -1
+	for _, c := range ivc.cands {
+		lo, hi := r.classRange(c.Class)
+		for ov := lo; ov < hi; ov++ {
+			o := &r.out[c.Port][ov]
+			if o.owned {
+				continue
+			}
+			if o.credits > bestCred {
+				bestPort, bestVC, bestClass, bestCred = c.Port, ov, c.Class, o.credits
 			}
 		}
 	}
-	r.vaPtr = (r.vaPtr + 1) % total
+	if bestPort >= 0 {
+		ivc.granted = true
+		ivc.outPort, ivc.outVC, ivc.outClass = bestPort, bestVC, bestClass
+		r.out[bestPort][bestVC].owned = true
+		r.reqMask &^= 1 << uint(flat)
+		r.gntMask |= 1 << uint(flat)
+		r.gntPorts |= 1 << uint(p)
+		if r.tracer != nil {
+			if f, ok := ivc.buf.Peek(); ok {
+				r.tracer.Record(now, f.P.ID, r.ID, obs.PhaseVCAlloc)
+			}
+		}
+	}
 }
 
 // vaOrder returns the order in which VC allocation requests are served.
@@ -444,9 +592,18 @@ func (r *Router) vaOrder() []int {
 // forwards the winning flits into the output pipelines. With SAIterations
 // > 1, unmatched ports get further matching passes (iSLIP).
 func (r *Router) switchAllocate(now int64) {
+	if r.maskHot && r.gntMask == 0 {
+		// No input VC holds an output grant, so no port can nominate: the
+		// full allocation would match nothing and change no state.
+		return
+	}
 	iters := r.cfg.SAIterations
 	if iters < 1 {
 		iters = 1
+	}
+	if r.maskHot {
+		r.switchAllocateMask(now, iters)
+		return
 	}
 	for p := 0; p < r.ports; p++ {
 		r.saInMatch[p] = false
@@ -454,7 +611,6 @@ func (r *Router) switchAllocate(now int64) {
 	}
 	for it := 0; it < iters; it++ {
 		// Stage 1: each unmatched input port nominates one ready VC.
-		progress := false
 		for p := 0; p < r.ports; p++ {
 			if r.saInMatch[p] {
 				r.saInWin[p] = -1
@@ -462,7 +618,10 @@ func (r *Router) switchAllocate(now int64) {
 			}
 			r.saInWin[p] = r.pickInputVC(p)
 		}
-		// Stage 2: each unmatched output port picks one requesting input.
+		// Stage 2: each unmatched output port picks one requesting input,
+		// visiting every port in ascending order as the reference
+		// implementation did.
+		progress := false
 		for outP := 0; outP < r.ports; outP++ {
 			if r.saOutMatch[outP] {
 				continue
@@ -482,14 +641,65 @@ func (r *Router) switchAllocate(now int64) {
 	}
 }
 
+// switchAllocateMask is the bitmask fast path of switchAllocate. It tracks
+// matched inputs/outputs and current nominations in port masks instead of
+// the per-cycle scratch arrays, so stage 1 touches only ports holding a VC
+// grant (gntPorts) and stage 2 only the outputs those nominations target.
+// Both stages visit ports in the same order as the reference scans minus
+// ports that could not match, so matching — and therefore every forward —
+// is bit-identical to the legacy path.
+func (r *Router) switchAllocateMask(now int64, iters int) {
+	var inMatched, outMatched uint64
+	for it := 0; it < iters; it++ {
+		// Stage 1: each unmatched input port with a granted VC nominates
+		// one ready VC. nom records which saInWin entries are live this
+		// iteration; entries of non-nominating ports are stale and must
+		// never be read.
+		var targets, nom uint64
+		for m := r.gntPorts &^ inMatched; m != 0; m &= m - 1 {
+			p := bits.TrailingZeros64(m)
+			v := r.pickInputVC(p)
+			if v >= 0 {
+				r.saInWin[p] = v
+				nom |= 1 << uint(p)
+				targets |= 1 << uint(r.in[p][v].outPort)
+			}
+		}
+		// Stage 2: each unmatched targeted output picks one nominating
+		// input, in ascending output-port order.
+		progress := false
+		for t := targets &^ outMatched; t != 0; t &= t - 1 {
+			outP := bits.TrailingZeros64(t)
+			win := r.pickInputPortMask(outP, nom)
+			if win < 0 {
+				continue
+			}
+			r.forward(now, win, r.saInWin[win])
+			inMatched |= 1 << uint(win)
+			nom &^= 1 << uint(win)
+			outMatched |= 1 << uint(outP)
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+}
+
 // pickInputVC returns the index of the VC at input port p that wins the
 // port's crossbar input this cycle, or -1.
 func (r *Router) pickInputVC(p int) int {
 	v := r.cfg.VCs
+	if r.maskHot && r.gntMask>>uint(p*v)&(uint64(1)<<uint(v)-1) == 0 {
+		return -1 // no VC of this port holds a grant, so none is ready
+	}
 	best := -1
 	var bestAge int64
 	for i := 0; i < v; i++ {
-		cand := (r.saInPtr[p] + i) % v
+		cand := r.saInPtr[p] + i
+		if cand >= v {
+			cand -= v
+		}
 		ivc := r.in[p][cand]
 		if !ivc.granted {
 			continue
@@ -514,11 +724,45 @@ func (r *Router) pickInputVC(p int) int {
 
 // pickInputPort returns the input port whose nominated flit wins output
 // port outP this cycle, or -1.
+// pickInputPortMask is pickInputPort for the mask fast path: nom marks the
+// input ports whose saInWin entry is a live nomination from the current
+// stage 1; all other entries are stale and skipped. The round-robin visit
+// order is unchanged.
+func (r *Router) pickInputPortMask(outP int, nom uint64) int {
+	best := -1
+	var bestAge int64
+	for i := 0; i < r.ports; i++ {
+		cand := r.saOutPtr[outP] + i
+		if cand >= r.ports {
+			cand -= r.ports
+		}
+		if nom&(1<<uint(cand)) == 0 {
+			continue
+		}
+		ivc := r.in[cand][r.saInWin[cand]]
+		if ivc.outPort != outP {
+			continue
+		}
+		if r.cfg.Arb == AgeBased {
+			f, _ := ivc.buf.Peek()
+			if best < 0 || f.P.CreateTime < bestAge {
+				best, bestAge = cand, f.P.CreateTime
+			}
+		} else {
+			return cand
+		}
+	}
+	return best
+}
+
 func (r *Router) pickInputPort(outP int) int {
 	best := -1
 	var bestAge int64
 	for i := 0; i < r.ports; i++ {
-		cand := (r.saOutPtr[outP] + i) % r.ports
+		cand := r.saOutPtr[outP] + i
+		if cand >= r.ports {
+			cand -= r.ports
+		}
 		v := r.saInWin[cand]
 		if v < 0 {
 			continue
@@ -546,6 +790,9 @@ func (r *Router) forward(now int64, p, v int) {
 	ivc := r.in[p][v]
 	f, _ := ivc.buf.Pop()
 	r.occupancy--
+	if ivc.buf.Len() == 0 {
+		r.occMask &^= 1 << uint(p*r.cfg.VCs+v)
+	}
 	r.FlitsRouted++
 	outP, outV := ivc.outPort, ivc.outVC
 
@@ -561,6 +808,7 @@ func (r *Router) forward(now int64, p, v int) {
 	f.VC = int32(outV)
 	r.pipes[outP].Push(now, f)
 	r.inFlight++
+	r.pipeMask |= 1 << uint(outP)
 	r.portFlits[outP]++
 	if r.tracer != nil && f.Head() {
 		r.tracer.Record(now, f.P.ID, r.ID, obs.PhaseSwitch)
@@ -574,10 +822,22 @@ func (r *Router) forward(now int64, p, v int) {
 	if f.Tail() {
 		r.out[outP][outV].owned = false
 		ivc.reset()
+		r.gntMask &^= 1 << uint(p*r.cfg.VCs+v)
+		if r.gntMask>>uint(p*r.cfg.VCs)&(uint64(1)<<uint(r.cfg.VCs)-1) == 0 {
+			r.gntPorts &^= 1 << uint(p)
+		}
 	}
 	// Advance round-robin pointers past the winners.
-	r.saInPtr[p] = (v + 1) % r.cfg.VCs
-	r.saOutPtr[outP] = (p + 1) % r.ports
+	if v+1 == r.cfg.VCs {
+		r.saInPtr[p] = 0
+	} else {
+		r.saInPtr[p] = v + 1
+	}
+	if p+1 == r.ports {
+		r.saOutPtr[outP] = 0
+	} else {
+		r.saOutPtr[outP] = p + 1
+	}
 	// The winner consumed this input port's nomination.
 	r.saInWin[p] = -1
 }

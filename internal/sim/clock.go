@@ -19,6 +19,15 @@ func (c *Clock) Tick() int64 {
 // Reset rewinds the clock to cycle zero.
 func (c *Clock) Reset() { c.now = 0 }
 
+// AdvanceTo jumps the clock forward to cycle t. It is a no-op when t is
+// not in the future; callers (the engine's quiescence fast-forward) are
+// responsible for only skipping cycles in which nothing can happen.
+func (c *Clock) AdvanceTo(t int64) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
 // Ticker fires at a fixed period, optionally with an initial phase offset.
 // It is used for periodic activity such as timer-interrupt injection in the
 // kernel-traffic model.
@@ -51,3 +60,13 @@ func (t *Ticker) Fire(now int64) bool {
 
 // Period returns the ticker period in cycles.
 func (t *Ticker) Period() int64 { return t.period }
+
+// Next returns the next cycle at which Fire will report true, or -1 for a
+// ticker that never fires. It lets idle drivers schedule a wakeup at the
+// next tick instead of polling Fire every cycle.
+func (t *Ticker) Next() int64 {
+	if t.period <= 0 {
+		return -1
+	}
+	return t.next
+}

@@ -46,7 +46,13 @@ func (q *FIFO[T]) Push(v T) bool {
 		}
 		q.grow()
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = v
+	// head < len and n <= len, so a compare-and-subtract wraps the index
+	// without the integer divide a % would cost on this hot path.
+	i := q.head + q.n
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = v
 	q.n++
 	return true
 }
@@ -68,7 +74,10 @@ func (q *FIFO[T]) Pop() (v T, ok bool) {
 	v = q.buf[q.head]
 	var zero T
 	q.buf[q.head] = zero
-	q.head = (q.head + 1) % len(q.buf)
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
 	q.n--
 	return v, true
 }
@@ -86,7 +95,11 @@ func (q *FIFO[T]) At(i int) T {
 	if i < 0 || i >= q.n {
 		panic("sim: FIFO index out of range")
 	}
-	return q.buf[(q.head+i)%len(q.buf)]
+	j := q.head + i
+	if j >= len(q.buf) {
+		j -= len(q.buf)
+	}
+	return q.buf[j]
 }
 
 // Clear empties the queue, releasing references so the GC can reclaim
@@ -105,6 +118,11 @@ func (q *FIFO[T]) Clear() {
 type DelayLine[T any] struct {
 	delay int64
 	q     *FIFO[delayed[T]]
+	// headAt caches the delivery time of the head item (meaningless while
+	// empty), so polling a not-yet-ready line is a comparison rather than
+	// a queue peek. PopReady runs once per port per cycle on the
+	// simulator's hottest loop.
+	headAt int64
 }
 
 type delayed[T any] struct {
@@ -129,17 +147,31 @@ func (d *DelayLine[T]) Len() int { return d.q.Len() }
 
 // Push inserts an item at cycle now; it becomes ready at now+delay.
 func (d *DelayLine[T]) Push(now int64, v T) {
+	if d.q.Len() == 0 {
+		d.headAt = now + d.delay
+	}
 	d.q.Push(delayed[T]{at: now + d.delay, v: v})
 }
 
 // PopReady removes and returns the next item whose delivery time has been
 // reached at cycle now. ok is false when nothing is ready.
 func (d *DelayLine[T]) PopReady(now int64) (v T, ok bool) {
-	head, ok := d.q.Peek()
-	if !ok || head.at > now {
+	if d.q.Len() == 0 || d.headAt > now {
 		var zero T
 		return zero, false
 	}
-	d.q.Pop()
+	head, _ := d.q.Pop()
+	if next, ok := d.q.Peek(); ok {
+		d.headAt = next.at
+	}
 	return head.v, true
+}
+
+// NextReadyAt returns the cycle at which the head item becomes deliverable,
+// or -1 when the line is empty.
+func (d *DelayLine[T]) NextReadyAt() int64 {
+	if d.q.Len() == 0 {
+		return -1
+	}
+	return d.headAt
 }

@@ -59,6 +59,11 @@ type Topology struct {
 	Radix int   // network ports per router (2*Dims)
 
 	links [][]Link // links[node][port]
+	// coords caches every node's per-dimension coordinate (row-major,
+	// node*Dims+dim): routing consults coordinates for each head flit at
+	// each hop, and the divide chain in the direct computation is
+	// measurable there.
+	coords []int32
 }
 
 // LocalPort returns the index of the injection/ejection port, one past the
@@ -93,6 +98,9 @@ func (t *Topology) Coord(node int) []int {
 // CoordOf returns the coordinate of node in one dimension without
 // allocating.
 func (t *Topology) CoordOf(node, dim int) int {
+	if t.coords != nil {
+		return int(t.coords[node*t.Dims+dim])
+	}
 	for d := 0; d < dim; d++ {
 		node /= t.K[d]
 	}
@@ -213,6 +221,12 @@ func newKAryNCube(kind Kind, name string, k []int, wrap bool, delay int64) *Topo
 		Radix: 2 * len(k),
 	}
 	t.links = make([][]Link, n)
+	t.coords = make([]int32, n*t.Dims)
+	for node := 0; node < n; node++ {
+		for d, c := range t.Coord(node) {
+			t.coords[node*t.Dims+d] = int32(c)
+		}
+	}
 	for node := 0; node < n; node++ {
 		t.links[node] = make([]Link, t.Radix)
 		coord := t.Coord(node)
