@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race golden golden-update check bench bench-compare figures ablations examples clean
+.PHONY: all build vet fmt-check test race fuzz-smoke golden golden-update check bench bench-compare figures ablations examples clean
 
 all: build vet test
 
@@ -22,6 +22,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Coverage-guided fuzz smoke: 30s per target over the parsers and the
+# cache-key canonicalization (go fuzzing allows one -fuzz target per
+# invocation, hence the sequence). FUZZTIME=10s make fuzz-smoke for a
+# quicker local pass.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test ./internal/topology -fuzz=FuzzByName -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/expcache -fuzz=FuzzKeyCanonicalization -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/expcache -fuzz=FuzzKeyConfigSensitivity -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME)
 
 # Golden-figure regression gate: regenerate the golden subset and compare
 # against the committed CSVs in results/golden (see cmd/figures/golden_test.go).

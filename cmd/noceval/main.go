@@ -17,6 +17,16 @@
 //	-arb rr|age   -pattern uniform|transpose|bitcomp|bitrev  -sizes single|bimodal
 //	-seed 1
 //
+// Fault-injection flags (openloop, sweep, batch, barrier; all default off):
+//
+//	-fault-corrupt 1e-4   per-link flit corruption probability
+//	-fault-drop 1e-4      per-link packet drop probability
+//	-fault-outage n:p:t0:t1   link n.p down for [t0,t1) (repeatable)
+//	-fault-kill n@t       kill router n at cycle t (repeatable)
+//	-fault-timeout 500    enable recovery NIC: retransmission timeout
+//	-fault-retries 4      max retransmissions   -fault-retry-cap 8  MSHR cap
+//	-fault-seed 0         fault RNG seed (0 = derived from -seed)
+//
 // Observability flags (openloop and batch; sweep takes the last three):
 //
 //	-metrics            collect metrics + per-router telemetry, write under -obs-out
@@ -165,10 +175,12 @@ func cmdOpenLoop(args []string) error {
 	fs := flag.NewFlagSet("openloop", flag.ExitOnError)
 	p := netFlags(fs)
 	rate := fs.Float64("rate", 0.1, "offered load in flits/cycle/node")
+	fo := faultFlags(fs)
 	oo := obsFlags(fs, true)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	p.Fault = fo.build()
 	if err := oo.startProfiling(); err != nil {
 		return err
 	}
@@ -188,6 +200,10 @@ func cmdOpenLoop(args []string) error {
 	fmt.Printf("avg latency %.2f cycles (p95 %.1f, p99 %.1f), worst per-node avg %.2f\n",
 		res.AvgLatency, res.P95, res.P99, res.WorstLatency)
 	fmt.Printf("avg hops %.2f, measured packets %d\n", res.AvgHops, res.MeasuredPackets)
+	if res.LostPackets > 0 {
+		fmt.Printf("lost packets %d\n", res.LostPackets)
+	}
+	printFaultStats(res.Faults)
 	return nil
 }
 
@@ -196,10 +212,12 @@ func cmdSweep(args []string) error {
 	p := netFlags(fs)
 	hi := fs.Float64("hi", 0.5, "highest offered load")
 	step := fs.Float64("step", 0.02, "load step")
+	fo := faultFlags(fs)
 	oo := obsFlags(fs, false)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	p.Fault = fo.build()
 	if err := oo.startProfiling(); err != nil {
 		return err
 	}
@@ -232,10 +250,12 @@ func cmdBatch(args []string) error {
 	kernelStatic := fs.Float64("kstatic", 0, "kernel static traffic fraction")
 	kernelPeriod := fs.Int64("kperiod", 0, "kernel timer period in cycles")
 	kernelBatch := fs.Int("kbatch", 0, "kernel transactions per timer interrupt")
+	fo := faultFlags(fs)
 	oo := obsFlags(fs, true)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	p.Fault = fo.build()
 	reply, err := parseReply(*replySpec)
 	if err != nil {
 		return err
@@ -267,6 +287,13 @@ func cmdBatch(args []string) error {
 	fmt.Printf("achieved throughput theta = %.4f flits/cycle/node\n", res.Throughput)
 	fmt.Printf("packets %d (kernel %d), avg packet latency %.2f\n",
 		res.TotalPackets, res.KernelPackets, res.AvgPacketLatency)
+	if res.FailedTransactions > 0 {
+		fmt.Printf("failed transactions %d\n", res.FailedTransactions)
+	}
+	if res.Stalled {
+		fmt.Printf("RUN STALLED (deadlock watchdog):\n%s", res.StallDump)
+	}
+	printFaultStats(res.Faults)
 	return nil
 }
 
@@ -275,9 +302,11 @@ func cmdBarrier(args []string) error {
 	p := netFlags(fs)
 	b := fs.Int("b", 1000, "packets per node per phase")
 	phases := fs.Int("phases", 1, "barrier phases")
+	fo := faultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	p.Fault = fo.build()
 	res, err := core.Barrier(*p, *b, *phases)
 	if err != nil {
 		return err
@@ -287,6 +316,10 @@ func cmdBarrier(args []string) error {
 	for i, pt := range res.PhaseRuntime {
 		fmt.Printf("  phase %d: %d cycles\n", i, pt)
 	}
+	if res.FailedPackets > 0 {
+		fmt.Printf("failed packets %d\n", res.FailedPackets)
+	}
+	printFaultStats(res.Faults)
 	return nil
 }
 

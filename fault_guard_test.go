@@ -1,0 +1,64 @@
+package noceval
+
+// Guards for the fault subsystem's disabled path: with no fault config,
+// the injector must be compiled out of the per-cycle hot path — Step
+// performs zero heap allocations (same bar as the observability guard),
+// and a faulted network pays its bookkeeping only when faults are enabled.
+
+import (
+	"testing"
+
+	"noceval/internal/fault"
+	"noceval/internal/network"
+	"noceval/internal/router"
+	"noceval/internal/routing"
+	"noceval/internal/topology"
+)
+
+// TestFaultDisabledStepZeroAllocs pins the zero-fault guarantee: a network
+// built without fault parameters steps with zero heap allocations — the
+// fault layer adds no per-cycle work to fault-free runs.
+func TestFaultDisabledStepZeroAllocs(t *testing.T) {
+	net := loadedNetwork(t, nil, 400, 500)
+	if net.FaultStats() != nil {
+		t.Fatal("fault layer active on a fault-free network")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		net.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("fault-free Step allocates %.2f allocs/op, want 0", allocs)
+	}
+	if flits, _, _, _ := net.Stats(); flits == 0 {
+		t.Fatal("network was idle during the measurement")
+	}
+}
+
+// TestFaultEnabledSteadyStateZeroAllocs holds the faulted hot path to the
+// same bar once warmed up: rate-based draws, schedule checks, and NIC
+// bookkeeping run allocation-free in steady state (retransmissions
+// allocate — packets always do — so the drop rate here is zero and only
+// corruption, which clones nothing, is enabled).
+func TestFaultEnabledSteadyStateZeroAllocs(t *testing.T) {
+	cfg := network.Config{
+		Topo:    topology.NewMesh(4, 4),
+		Routing: routing.DOR{},
+		Router:  router.Config{VCs: 8, BufDepth: 4, Delay: 1},
+		Seed:    5,
+		Fault:   &fault.Params{CorruptRate: 1e-3, Seed: 17},
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	net := network.New(cfg)
+	fill(net, 400)
+	for i := 0; i < 500; i++ {
+		net.Step()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		net.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("faulted steady-state Step allocates %.2f allocs/op, want 0", allocs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"noceval/internal/engine"
+	"noceval/internal/fault"
 	"noceval/internal/network"
 	"noceval/internal/router"
 	"noceval/internal/sim"
@@ -31,6 +32,10 @@ type BarrierConfig struct {
 
 	// FullScan runs the legacy per-cycle full scans (see BatchConfig).
 	FullScan bool
+
+	// Inspect, when non-nil, receives the run's network after the engine
+	// finishes (see BatchConfig.Inspect).
+	Inspect func(*network.Network)
 }
 
 // BarrierResult summarizes a barrier-model run.
@@ -42,6 +47,11 @@ type BarrierResult struct {
 	// Throughput is flits/cycle/node over the whole run.
 	Throughput float64
 	Completed  bool
+	// FailedPackets counts packets the recovery NIC gave up on; each is
+	// counted toward the barrier so a lossy phase can still complete.
+	FailedPackets int64 `json:",omitempty"`
+	// Faults carries the fault/recovery counters of a faulted run.
+	Faults *fault.Stats `json:",omitempty"`
 }
 
 // RunBarrier executes a barrier-model simulation.
@@ -72,6 +82,12 @@ func RunBarrier(cfg BarrierConfig) (*BarrierResult, error) {
 	res := &BarrierResult{}
 	d := &barrierDriver{cfg: &cfg, net: net, rng: rng, n: n, res: res, sent: make([]int, n)}
 	net.OnReceive = func(now int64, p *router.Packet) { d.arrived++ }
+	// An abandoned packet will never arrive: count it toward the barrier so
+	// the phase completes (degraded) instead of spinning to MaxCycles.
+	net.OnDeadDrop = func(now int64, p *router.Packet) {
+		d.arrived++
+		res.FailedPackets++
+	}
 
 	net.SetFullScan(cfg.FullScan)
 	_, completed := engine.Run(engine.Config{
@@ -80,6 +96,15 @@ func RunBarrier(cfg BarrierConfig) (*BarrierResult, error) {
 		FullScan: cfg.FullScan,
 	}, d)
 	res.Runtime = net.Now()
+	if fs := net.FaultStats(); fs != nil {
+		if d.injectedTotal > 0 {
+			fs.DeliveredFraction = float64(d.injectedTotal-res.FailedPackets) / float64(d.injectedTotal)
+		}
+		res.Faults = fs
+	}
+	if cfg.Inspect != nil {
+		cfg.Inspect(net)
+	}
 	if !completed {
 		return res, nil // Completed stays false
 	}
@@ -101,12 +126,13 @@ type barrierDriver struct {
 	n   int
 	res *BarrierResult
 
-	phase      int
-	phaseStart int64
-	sent       []int
-	arrived    int
-	injected   int
-	totalFlits int64
+	phase         int
+	phaseStart    int64
+	sent          []int
+	arrived       int
+	injected      int
+	injectedTotal int64
+	totalFlits    int64
 }
 
 // Cycle implements engine.Driver: each node offers one packet per cycle
@@ -122,6 +148,7 @@ func (d *barrierDriver) Cycle(now int64) {
 			d.totalFlits += int64(size)
 			d.sent[node]++
 			d.injected++
+			d.injectedTotal++
 		}
 	}
 }

@@ -3,8 +3,10 @@ package closedloop
 import (
 	"container/heap"
 	"fmt"
+	"strings"
 
 	"noceval/internal/engine"
+	"noceval/internal/fault"
 	"noceval/internal/network"
 	"noceval/internal/obs"
 	"noceval/internal/router"
@@ -81,6 +83,11 @@ type BatchConfig struct {
 	// activity-tracked path (the determinism regression test proves it);
 	// kept for one release as that test's reference side.
 	FullScan bool
+
+	// Inspect, when non-nil, receives the run's network after the engine
+	// finishes and before RunBatch returns — the invariant harness hooks
+	// here to check conservation on the final state.
+	Inspect func(*network.Network)
 }
 
 func (c *BatchConfig) fillDefaults() {
@@ -112,8 +119,20 @@ type TimelineSample struct {
 type BatchResult struct {
 	// Runtime is T: the cycle at which the last node finished its batch.
 	Runtime int64
-	// Completed is false when MaxCycles elapsed first.
+	// Completed is false when MaxCycles elapsed first or the run stalled.
 	Completed bool
+	// Stalled is true when the deadlock watchdog proved the run could never
+	// finish: unfinished nodes, an empty network, and nothing scheduled —
+	// transactions were silently lost (fault injection without a recovery
+	// NIC) or wedged on a dead resource. StallDump carries the diagnostic.
+	Stalled   bool   `json:",omitempty"`
+	StallDump string `json:",omitempty"`
+	// FailedTransactions counts transactions closed by NIC abandonment
+	// rather than a reply (always 0 without fault injection).
+	FailedTransactions int64 `json:",omitempty"`
+	// Faults carries the fault/recovery counters of a faulted run, nil
+	// otherwise.
+	Faults *fault.Stats `json:",omitempty"`
 
 	// NodeFinish is the per-node completion time (Fig 7).
 	NodeFinish []int64
@@ -436,6 +455,28 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 			}
 		}
 	}
+	// A transaction whose request or reply the NIC abandons will never see
+	// its reply: close it as failed so the requester's MSHR slot frees and
+	// the batch can still complete (gracefully degraded).
+	net.OnDeadDrop = func(now int64, p *router.Packet) {
+		var st *nodeState
+		switch p.Kind {
+		case router.KindRequest:
+			st = &d.nodes[p.Src]
+		case router.KindReply:
+			st = &d.nodes[p.Dst]
+		default:
+			return
+		}
+		st.pf--
+		st.done++
+		res.FailedTransactions++
+		if !st.finished && st.done >= st.target {
+			st.finished = true
+			st.finish = now
+			d.finished++
+		}
+	}
 
 	net.SetFullScan(cfg.FullScan)
 	_, completed := engine.Run(engine.Config{
@@ -443,6 +484,10 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 		Deadline: cfg.MaxCycles,
 		Progress: cfg.Progress,
 		FullScan: cfg.FullScan,
+		OnStall: func(now int64) {
+			res.Stalled = true
+			res.StallDump = d.stallDump(now)
+		},
 	}, d)
 	res.Completed = completed
 	cfg.Progress.Done(net.Now())
@@ -471,5 +516,44 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 	if d.latencyCnt > 0 {
 		res.AvgPacketLatency = d.latencySum / float64(d.latencyCnt)
 	}
+	if fs := net.FaultStats(); fs != nil {
+		// Denominator is the full workload, not just completed
+		// transactions: a stalled run that delivered half its batch must
+		// not report fraction 1.0.
+		var done int64
+		for i := range nodes {
+			done += int64(nodes[i].done)
+		}
+		if total := int64(n) * int64(cfg.B); total > 0 {
+			fs.DeliveredFraction = float64(done-res.FailedTransactions) / float64(total)
+		}
+		res.Faults = fs
+	}
+	if cfg.Inspect != nil {
+		cfg.Inspect(net)
+	}
 	return res, nil
+}
+
+// stallDump renders the deadlock watchdog's diagnostic: which nodes are
+// stuck (and on what), plus the network's stuck-VC report.
+func (d *batchDriver) stallDump(now int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "batch run stalled at cycle %d: %d/%d nodes finished\n", now, d.finished, d.n)
+	lines := 0
+	for i := range d.nodes {
+		st := &d.nodes[i]
+		if st.finished {
+			continue
+		}
+		if lines >= 32 {
+			b.WriteString("... (further nodes omitted)\n")
+			break
+		}
+		fmt.Fprintf(&b, "node %d: done %d/%d, outstanding pf %d, sent user %d kernel %d\n",
+			i, st.done, st.target, st.pf, st.sentUser, st.sentKernel)
+		lines++
+	}
+	b.WriteString(d.net.StuckVCReport())
+	return b.String()
 }

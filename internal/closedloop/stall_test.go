@@ -1,0 +1,93 @@
+package closedloop_test
+
+// Deadlock-watchdog regression: a forced router outage (hard kill, no
+// recovery NIC) silently destroys in-flight transactions, so the batch can
+// never finish. The watchdog must prove this the moment the network goes
+// permanently idle — failing fast with a dump of the stuck nodes — instead
+// of burning cycles to MaxCycles.
+
+import (
+	"strings"
+	"testing"
+
+	"noceval/internal/closedloop"
+	"noceval/internal/fault"
+	"noceval/internal/network"
+	"noceval/internal/router"
+	"noceval/internal/routing"
+	"noceval/internal/topology"
+	"noceval/internal/traffic"
+)
+
+func killedNet(t *testing.T, fp *fault.Params) network.Config {
+	t.Helper()
+	cfg := network.Config{
+		Topo:    topology.NewMesh(4, 4),
+		Routing: routing.DOR{},
+		Router:  router.Config{VCs: 2, BufDepth: 4, Delay: 1},
+		Seed:    11,
+		Fault:   fp,
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestWatchdogReportsStallAfterKill(t *testing.T) {
+	res, err := closedloop.RunBatch(closedloop.BatchConfig{
+		Net:       killedNet(t, &fault.Params{Kills: []fault.Kill{{Node: 5, At: 100}}}),
+		Pattern:   traffic.Uniform{},
+		B:         50,
+		M:         2,
+		MaxCycles: 10_000_000,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("batch with a killed router and no recovery completed; the kill was a no-op")
+	}
+	if !res.Stalled {
+		t.Fatalf("watchdog did not flag the stall (runtime %d of max 10M: the run burned to the deadline instead)", res.Runtime)
+	}
+	if res.Runtime >= 10_000_000 {
+		t.Errorf("watchdog fired only at the deadline (cycle %d), not when the run wedged", res.Runtime)
+	}
+	for _, want := range []string{"stalled", "node", "DEAD"} {
+		if !strings.Contains(res.StallDump, want) {
+			t.Errorf("stall dump missing %q:\n%s", want, res.StallDump)
+		}
+	}
+}
+
+// TestKilledRouterRecoversWithNIC is the counterpart: the same kill with
+// the recovery NIC on finishes the batch (degraded), because transactions
+// into the dead router are abandoned after their retries and closed as
+// failed.
+func TestKilledRouterRecoversWithNIC(t *testing.T) {
+	res, err := closedloop.RunBatch(closedloop.BatchConfig{
+		Net: killedNet(t, &fault.Params{
+			Kills:   []fault.Kill{{Node: 5, At: 100}},
+			Timeout: 200, MaxRetries: 2,
+		}),
+		Pattern:   traffic.Uniform{},
+		B:         50,
+		M:         2,
+		MaxCycles: 10_000_000,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("batch with recovery NIC did not complete (stalled=%v):\n%s", res.Stalled, res.StallDump)
+	}
+	if res.FailedTransactions == 0 {
+		t.Error("no failed transactions despite a killed router; the scenario is vacuous")
+	}
+	if res.Faults == nil || res.Faults.DeliveredFraction >= 1 {
+		t.Errorf("delivered fraction not degraded: %+v", res.Faults)
+	}
+}

@@ -1,0 +1,51 @@
+package core_test
+
+// Fuzz target for the declarative experiment-spec parser. Specs are
+// version-controlled JSON files fed to `noceval run -config`; the parser
+// must never panic and must be canonicalizing: re-encoding an accepted
+// spec and parsing it again yields the identical spec (otherwise a spec
+// could drift — and re-key its cached experiments — across a
+// marshal/unmarshal cycle).
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"noceval/internal/core"
+)
+
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		`{"kind":"openloop","rate":0.2}`,
+		`{"kind":"batch","b":100,"m":4,"network":{"Topology":"mesh4x4"}}`,
+		`{"kind":"sweep","rates":[0.1,0.2]}`,
+		`{"kind":"exec","benchmark":"lu","clock":"75mhz","timer":true}`,
+		`{"kind":"barrier","phases":2,"reply":{"type":"fixed","latency":20}}`,
+		`{"network":{"Fault":{"DropRate":0.001,"Timeout":300}}}`,
+		`{`, `[]`, `null`, `{"unknown":1}`, `{"kind":"openloop","rate":1e309}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := core.ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if spec.Network.Topology == "" {
+			t.Fatalf("accepted spec has no topology (defaults not applied): %+v", spec)
+		}
+		// Canonicalization: marshal and re-parse must be a fixed point.
+		enc, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not re-encode: %v", err)
+		}
+		again, err := core.ParseSpec(enc)
+		if err != nil {
+			t.Fatalf("re-encoded spec rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Fatalf("spec not canonical:\nfirst:  %+v\nsecond: %+v", spec, again)
+		}
+	})
+}

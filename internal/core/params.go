@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 
+	"noceval/internal/fault"
 	"noceval/internal/network"
 	"noceval/internal/router"
 	"noceval/internal/routing"
@@ -33,6 +34,11 @@ type NetworkParams struct {
 	// (0/1 = classic single pass).
 	SAIterations int
 	Seed         uint64
+	// Fault, when non-nil, enables fault injection and recovery (see
+	// internal/fault). The pointer is json-omitted when nil so fault-free
+	// configurations keep their pre-existing experiment-cache keys, while
+	// every faulted configuration hashes under its own key.
+	Fault *fault.Params `json:",omitempty"`
 }
 
 // Baseline returns the bold values of Table I: an 8x8 mesh with 2 VCs,
@@ -54,7 +60,11 @@ func Baseline() NetworkParams {
 
 // String returns a compact label for figure legends.
 func (p NetworkParams) String() string {
-	return fmt.Sprintf("%s/%s tr=%d q=%d v=%d %s", p.Topology, p.Routing, p.RouterDelay, p.BufDepth, p.VCs, p.Pattern)
+	s := fmt.Sprintf("%s/%s tr=%d q=%d v=%d %s", p.Topology, p.Routing, p.RouterDelay, p.BufDepth, p.VCs, p.Pattern)
+	if p.Fault.Enabled() {
+		s += fmt.Sprintf(" fault(c=%g,d=%g)", p.Fault.CorruptRate, p.Fault.DropRate)
+	}
+	return s
 }
 
 // Build materializes the network configuration.
@@ -85,7 +95,8 @@ func (p NetworkParams) Build() (network.Config, error) {
 			Arb:          arb,
 			SAIterations: p.SAIterations,
 		},
-		Seed: p.Seed,
+		Seed:  p.Seed,
+		Fault: p.Fault,
 	}
 	if err := cfg.Validate(); err != nil {
 		return network.Config{}, err

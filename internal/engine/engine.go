@@ -69,6 +69,17 @@ type FastForwarder interface {
 	NextObsSampleAt() int64
 }
 
+// InternalScheduler is implemented by fabrics that can schedule their own
+// future work even while empty — the recovery NIC's retransmission
+// timeouts. The engine folds the next internal event into its fast-forward
+// wake-up, and a run is declared stalled only when the driver, the fabric,
+// and the internal schedule all have nothing left.
+type InternalScheduler interface {
+	// NextInternalEventAt returns the next cycle at which the fabric will
+	// act on its own, or -1 when nothing is scheduled.
+	NextInternalEventAt() int64
+}
+
 // Config parameterizes one engine run.
 type Config struct {
 	// Net is the fabric to drive.
@@ -89,6 +100,14 @@ type Config struct {
 	// mode to reproduce the legacy cycle loop exactly. Kept for one
 	// release as the determinism regression baseline.
 	FullScan bool
+	// OnStall, when non-nil, arms the deadlock watchdog: when the engine
+	// proves the run can never finish — the driver is not done yet idle
+	// with no scheduled event, the network is quiescent, and no internal
+	// event (NIC timeout) is pending — OnStall is invoked and Run returns
+	// immediately with completed == false, instead of burning cycles to
+	// the deadline. When nil the engine keeps stepping (a driver may be
+	// idle-with-no-event and still complete on a later Done check).
+	OnStall func(now int64)
 }
 
 // Run drives the network until the driver completes or the deadline
@@ -97,6 +116,7 @@ func Run(cfg Config, d Driver) (end int64, completed bool) {
 	net := cfg.Net
 	ff, canSkip := net.(FastForwarder)
 	canSkip = canSkip && !cfg.FullScan
+	is, hasInternal := net.(InternalScheduler)
 	for {
 		now := net.Now()
 		if d.Done(now) {
@@ -105,10 +125,27 @@ func Run(cfg Config, d Driver) (end int64, completed bool) {
 		if cfg.Deadline > 0 && now >= cfg.Deadline {
 			return now, false
 		}
-		if canSkip && d.Idle(now) && net.Quiescent() {
-			if next := wakeAt(cfg, ff, d, now); next > now {
-				ff.SkipTo(next)
-				continue
+		if d.Idle(now) && net.Quiescent() {
+			internal := NoEvent
+			if hasInternal {
+				internal = is.NextInternalEventAt()
+			}
+			if cfg.OnStall != nil && d.NextEvent(now) == NoEvent && internal == NoEvent {
+				// Provably stuck: the driver is idle forever, the fabric is
+				// empty, and nothing is scheduled. Running further cycles
+				// (or to the deadline) would change nothing; fail now.
+				// Without an OnStall handler the engine keeps its legacy
+				// behaviour (run to Done or the deadline), because a driver
+				// may be idle-with-no-event yet still complete on a later
+				// Done(now) check.
+				cfg.OnStall(now)
+				return now, false
+			}
+			if canSkip {
+				if next := wakeAt(cfg, ff, d, now, internal); next > now {
+					ff.SkipTo(next)
+					continue
+				}
 			}
 		}
 		d.Cycle(now)
@@ -124,12 +161,21 @@ func Run(cfg Config, d Driver) (end int64, completed bool) {
 }
 
 // wakeAt returns the next cycle at which anything can happen while the
-// run is idle and quiescent: the driver's next scheduled event or the
-// observer's next sampling point, clamped to the deadline. It returns a
-// value <= now when nothing justifies a skip (an event is due now, or
-// nothing is scheduled and there is no deadline to run out).
-func wakeAt(cfg Config, ff FastForwarder, d Driver, now int64) int64 {
+// run is idle and quiescent: the driver's next scheduled event, the
+// fabric's next internal event (NIC timeout), or the observer's next
+// sampling point, clamped to the deadline. It returns a value <= now when
+// nothing justifies a skip (an event is due now, or nothing is scheduled
+// and there is no deadline to run out).
+func wakeAt(cfg Config, ff FastForwarder, d Driver, now, internal int64) int64 {
 	next := d.NextEvent(now)
+	if internal >= 0 {
+		if internal <= now {
+			return now // an internal event is due this very cycle
+		}
+		if next == NoEvent || internal < next {
+			next = internal
+		}
+	}
 	if s := ff.NextObsSampleAt(); s >= 0 {
 		if s <= now {
 			// A sample is due this very cycle (we just fast-forwarded to

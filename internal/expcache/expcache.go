@@ -27,7 +27,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
+	"unicode/utf8"
 )
 
 // Cache is one on-disk result store. All methods are safe for concurrent
@@ -47,6 +49,12 @@ type Cache struct {
 func Open(dir, salt string) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("expcache: empty cache directory")
+	}
+	// The salt is stored inside each entry and compared on Get; JSON
+	// storage replaces invalid UTF-8 with U+FFFD, so a non-UTF-8 salt
+	// would never verify against its own entries.
+	if !utf8.ValidString(salt) {
+		return nil, fmt.Errorf("expcache: salt is not valid UTF-8")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("expcache: %w", err)
@@ -73,6 +81,14 @@ func (k Key) Hash() string { return k.hash }
 // JSON-marshalable with deterministic field order (plain structs, no
 // unordered custom marshalers).
 func (c *Cache) Key(kind string, cfg any) (Key, error) {
+	// The kind names an on-disk directory and is verified against the
+	// stored entry on Get, so it must survive both the filesystem and a
+	// JSON round trip unchanged.
+	if kind == "" || kind == "." || kind == ".." ||
+		strings.ContainsAny(kind, `/\`) || !utf8.ValidString(kind) ||
+		strings.ContainsFunc(kind, func(r rune) bool { return r < 0x20 || r == 0x7f }) {
+		return Key{}, fmt.Errorf("expcache: invalid experiment kind %q", kind)
+	}
 	desc, err := json.Marshal(cfg)
 	if err != nil {
 		return Key{}, fmt.Errorf("expcache: encoding %s config: %w", kind, err)

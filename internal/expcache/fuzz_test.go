@@ -1,0 +1,117 @@
+package expcache_test
+
+// Fuzz targets for the experiment cache's content addressing. The cache
+// key is the contract the whole framework's memoization rests on: it must
+// be deterministic, collision-free across (salt, kind) boundaries (the
+// length-prefix encoding), and a Put must round-trip through Get under
+// arbitrary configuration payloads.
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"noceval/internal/expcache"
+)
+
+// fuzzCfg is a marshal-stable stand-in for the runner key structs.
+type fuzzCfg struct {
+	A string
+	B int64
+	C float64
+	D []string `json:",omitempty"`
+}
+
+func FuzzKeyCanonicalization(f *testing.F) {
+	f.Add("noceval-core-v1", "openloop", "noceval-core-v1", "batch", int64(16), 0.25, "mesh8x8")
+	f.Add("a", "bc", "ab", "c", int64(0), 0.0, "")
+	f.Add("", "", "", "", int64(-1), -0.5, "x")
+	f.Fuzz(func(t *testing.T, salt1, kind1, salt2, kind2 string, b int64, c float64, s string) {
+		dir := t.TempDir()
+		// Non-UTF-8 salts and filesystem-hostile kinds are rejected up
+		// front (they could not verify against their own stored entries);
+		// rejection is a valid outcome, silent self-inconsistency is not.
+		c1, err := expcache.Open(dir+"/c1", salt1)
+		if err != nil {
+			return
+		}
+		c2, err := expcache.Open(dir+"/c2", salt2)
+		if err != nil {
+			return
+		}
+		cfg := fuzzCfg{A: s, B: b, C: c}
+
+		k1, err := c1.Key(kind1, cfg)
+		if err != nil {
+			return
+		}
+		// Determinism: the same (salt, kind, config) always hashes the same.
+		if again, _ := c1.Key(kind1, cfg); again.Hash() != k1.Hash() {
+			t.Fatalf("key not deterministic: %s vs %s", k1.Hash(), again.Hash())
+		}
+
+		// Boundary safety: distinct (salt, kind) pairs must hash apart even
+		// when their concatenations collide (e.g. "a"+"bc" vs "ab"+"c").
+		k2, err := c2.Key(kind2, cfg)
+		if err != nil {
+			return
+		}
+		same := salt1 == salt2 && kind1 == kind2
+		if same != (k1.Hash() == k2.Hash()) {
+			t.Fatalf("salt/kind (%q,%q) vs (%q,%q): same-pair=%v but same-hash=%v",
+				salt1, kind1, salt2, kind2, same, k1.Hash() == k2.Hash())
+		}
+
+		// Round trip: a stored result comes back verbatim under its key.
+		want := fuzzCfg{A: s + "!", B: b + 1, C: c}
+		if err := c1.Put(k1, want); err != nil {
+			t.Fatal(err)
+		}
+		var got fuzzCfg
+		if !c1.Get(k1, &got) {
+			t.Fatal("Get missed immediately after Put")
+		}
+		// The cache stores JSON, so the contract is JSON fidelity: normalize
+		// want through one encode/decode cycle (which replaces invalid UTF-8
+		// with U+FFFD, as storage does) and the retrieved value must match.
+		wantJSON, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var norm fuzzCfg
+		if err := json.Unmarshal(wantJSON, &norm); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, norm) {
+			t.Fatalf("round trip mutated the result: got %+v want %+v", got, norm)
+		}
+	})
+}
+
+// FuzzKeyConfigSensitivity: two configs hash equal exactly when their JSON
+// encodings are equal (JSON is the canonical form — e.g. invalid UTF-8
+// normalizes to U+FFFD before hashing, so raw-byte inequality alone must
+// not be expected to split hashes).
+func FuzzKeyConfigSensitivity(f *testing.F) {
+	f.Add("x", "y", int64(1), int64(2))
+	f.Fuzz(func(t *testing.T, a1, a2 string, b1, b2 int64) {
+		c, err := expcache.Open(t.TempDir(), "salt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg1, cfg2 := fuzzCfg{A: a1, B: b1}, fuzzCfg{A: a2, B: b2}
+		k1, err1 := c.Key("k", cfg1)
+		k2, err2 := c.Key("k", cfg2)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		j1, _ := json.Marshal(cfg1)
+		j2, _ := json.Marshal(cfg2)
+		same := bytes.Equal(j1, j2)
+		if same != (k1.Hash() == k2.Hash()) {
+			t.Fatalf("configs %s vs %s: same-json=%v but same-hash=%v",
+				j1, j2, same, k1.Hash() == k2.Hash())
+		}
+	})
+}

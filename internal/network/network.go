@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"strings"
 
+	"noceval/internal/fault"
 	"noceval/internal/obs"
 	"noceval/internal/router"
 	"noceval/internal/routing"
@@ -28,6 +30,10 @@ type Config struct {
 	Routing routing.Algorithm
 	Router  router.Config
 	Seed    uint64
+	// Fault, when non-nil and enabled, wires the fault injector and (with a
+	// positive Timeout) the recovery NIC into the network. Nil or all-zero
+	// leaves the network bit-identical to a fault-free build.
+	Fault *fault.Params
 }
 
 // Validate reports configuration errors.
@@ -37,6 +43,9 @@ func (c Config) Validate() error {
 	}
 	if c.Routing == nil {
 		return fmt.Errorf("network: nil routing algorithm")
+	}
+	if err := c.Fault.Validate(c.Topo); err != nil {
+		return err
 	}
 	return c.Router.Validate(c.Topo, c.Routing)
 }
@@ -59,6 +68,17 @@ type Network struct {
 	// OnSend, when non-nil, observes every packet handed to Send (used by
 	// the trace recorder).
 	OnSend Receiver
+	// OnDeadDrop, when non-nil, is invoked when the recovery NIC abandons a
+	// transaction after exhausting its retries — the run mode's signal to
+	// account the loss. Without a NIC, losses are silent (the run mode sees
+	// nothing, exactly like a real network without end-to-end protection).
+	OnDeadDrop Receiver
+
+	// faults and nic are non-nil only when cfg.Fault is enabled; every
+	// fault hook on the per-cycle paths hides behind a faults nil check so
+	// fault-free runs stay bit-identical and allocation-free.
+	faults *fault.Injector
+	nic    *fault.NIC
 
 	nextPacketID uint64
 
@@ -79,12 +99,19 @@ type Network struct {
 	// still maintained but not consulted.
 	fullScan bool
 
-	// Conservation accounting.
-	flitsInjected int64 // flits that entered a router injection buffer
-	flitsEjected  int64
-	pktsSent      int64 // packets handed to Send
-	pktsArrived   int64
-	queuedFlits   int64 // flits waiting in source queues
+	// Conservation accounting. Every packet object handed to Send ends in
+	// exactly one of: arrived, dead (died inside the network), discarded
+	// (checksum-rejected at the destination), or dup (redundant incarnation
+	// discarded by receiver dedup) — the invariant harness checks the sum.
+	flitsInjected    int64 // flits that entered a router injection buffer
+	flitsEjected     int64
+	flitsDeadDropped int64 // flits discarded by fault injection
+	pktsSent         int64 // packets handed to Send
+	pktsArrived      int64
+	pktsDead         int64 // packets that died inside the network
+	pktsDiscarded    int64 // corrupt packets rejected at the destination
+	pktsDup          int64 // duplicate deliveries discarded by the NIC
+	queuedFlits      int64 // flits waiting in source queues
 
 	// Observability state, all nil/empty until AttachObserver: the per-cycle
 	// path pays one nil check when disabled.
@@ -103,6 +130,11 @@ type Network struct {
 	cFlitEjected  *obs.Counter
 	cPktSent      *obs.Counter
 	cPktArrived   *obs.Counter
+	// Fault counters, registered only when fault injection is enabled.
+	cFaultInjected    *obs.Counter
+	cFaultDetected    *obs.Counter
+	cFaultRetried     *obs.Counter
+	cFaultDeadDropped *obs.Counter
 }
 
 // New builds a network. It panics on invalid configuration; use
@@ -134,6 +166,40 @@ func New(cfg Config) *Network {
 			if link.Connected() {
 				n.routers[link.To].SetUpstream(link.ToPort, n.routers[i], p)
 			}
+		}
+	}
+	if cfg.Fault.Enabled() {
+		fp := *cfg.Fault
+		seed := fp.Seed
+		if seed == 0 {
+			seed = cfg.Seed ^ 0x8f1bbcdc9a3f7d21
+		}
+		n.faults = fault.NewInjector(fp, seed)
+		if fp.Timeout > 0 {
+			n.nic = fault.NewNIC(fault.NICConfig{
+				Timeout:    fp.Timeout,
+				MaxRetries: fp.MaxRetries,
+				RetryCap:   fp.RetryCap,
+				Nodes:      t.N,
+				Resend: func(now int64, prev *router.Packet) *router.Packet {
+					p := n.NewPacket(prev.Src, prev.Dst, prev.Size, prev.Kind)
+					p.Aux = prev.Aux
+					p.Measured = prev.Measured
+					// A retransmission continues the original transaction:
+					// it keeps the original creation time so end-to-end
+					// latency honestly includes the recovery delay.
+					p.CreateTime = prev.CreateTime
+					p.FaultTxn = prev.FaultTxn
+					n.cFaultRetried.Inc()
+					n.send(p)
+					return p
+				},
+				Abandon: func(now int64, p *router.Packet) {
+					if n.OnDeadDrop != nil {
+						n.OnDeadDrop(now, p)
+					}
+				},
+			})
 		}
 	}
 	return n
@@ -189,6 +255,12 @@ func (n *Network) AttachObserver(o *obs.Observer) {
 	n.cFlitEjected = reg.Counter("net.flits_ejected")
 	n.cPktSent = reg.Counter("net.packets_sent")
 	n.cPktArrived = reg.Counter("net.packets_arrived")
+	if n.faults != nil {
+		n.cFaultInjected = reg.Counter("fault.injected")
+		n.cFaultDetected = reg.Counter("fault.detected")
+		n.cFaultRetried = reg.Counter("fault.retried")
+		n.cFaultDeadDropped = reg.Counter("fault.dead_dropped")
+	}
 	nodes := n.cfg.Topo.N
 	n.nodeInjected = make([]int64, nodes)
 	n.nodeEjected = make([]int64, nodes)
@@ -282,18 +354,34 @@ func (n *Network) NewPacket(src, dst, size int, kind router.Kind) *router.Packet
 }
 
 // Send queues the packet's flits at its source terminal. The packet will be
-// injected into the router as buffer space allows.
+// injected into the router as buffer space allows. When the recovery NIC is
+// armed it starts tracking the packet here; retransmissions re-enter below
+// Send so they are not tracked twice.
 func (n *Network) Send(p *router.Packet) {
+	if n.nic != nil {
+		n.nic.Track(n.clock.Now(), p)
+	}
+	n.send(p)
+}
+
+func (n *Network) send(p *router.Packet) {
 	if n.OnSend != nil {
 		n.OnSend(n.clock.Now(), p)
+	}
+	n.pktsSent++
+	n.cPktSent.Inc()
+	if n.faults != nil && n.routers[p.Src].Dead() {
+		// The terminal died with its router: the packet is lost before it
+		// can queue. The NIC (if any) still tracks it, so the loss is
+		// eventually reported through timeout and abandonment.
+		n.notePacketDead(p)
+		return
 	}
 	for _, f := range router.Flits(p) {
 		n.srcQ[p.Src].Push(f)
 	}
 	n.srcPending[p.Src>>6] |= 1 << (uint(p.Src) & 63)
-	n.pktsSent++
 	n.queuedFlits += int64(p.Size)
-	n.cPktSent.Inc()
 }
 
 // SourceQueueLen returns the number of flits waiting at a node's source
@@ -303,6 +391,9 @@ func (n *Network) SourceQueueLen(node int) int { return n.srcQ[node].Len() }
 // Step advances the network one cycle.
 func (n *Network) Step() {
 	now := n.clock.Now()
+	if n.faults != nil {
+		n.faultPreStep(now)
+	}
 	n.deliver(now)
 	n.inject(now)
 	if n.fullScan {
@@ -391,6 +482,9 @@ func (n *Network) handleDelivered(now int64, id, p int, f router.Flit) {
 			n.cFlitEjected.Inc()
 		}
 		if f.Tail() {
+			if n.faults != nil && !n.acceptAtDest(now, f.P) {
+				return
+			}
 			f.P.ArriveTime = now
 			n.pktsArrived++
 			n.cPktArrived.Inc()
@@ -404,6 +498,9 @@ func (n *Network) handleDelivered(now int64, id, p int, f router.Flit) {
 		return
 	}
 	link := t.LinkAt(id, p)
+	if n.faults != nil && n.faultOnLinkDelivery(now, id, p, f, link) {
+		return
+	}
 	n.routers[link.To].AcceptFlit(link.ToPort, int(f.VC), f)
 }
 
@@ -499,19 +596,24 @@ func (n *Network) Stats() (pktsSent, pktsArrived, flitsInjected, flitsEjected in
 
 // CheckConservation returns an error when flit/packet accounting is
 // inconsistent with the amount of traffic still in flight; tests call it
-// after draining to prove nothing was lost or duplicated.
+// after draining to prove nothing was lost or duplicated. Fault injection
+// extends both equations: every injected flit is ejected, dead-dropped, or
+// still inside, and every sent packet ends arrived, dead, discarded, or
+// deduplicated.
 func (n *Network) CheckConservation() error {
 	inside := int64(0)
 	for _, r := range n.routers {
 		inside += int64(r.Occupancy() + r.InFlight())
 	}
-	if n.flitsInjected-n.flitsEjected != inside {
-		return fmt.Errorf("network: flit conservation violated: injected %d, ejected %d, inside %d",
-			n.flitsInjected, n.flitsEjected, inside)
+	if n.flitsInjected-n.flitsEjected-n.flitsDeadDropped != inside {
+		return fmt.Errorf("network: flit conservation violated: injected %d, ejected %d, dead-dropped %d, inside %d",
+			n.flitsInjected, n.flitsEjected, n.flitsDeadDropped, inside)
 	}
-	if n.Quiescent() && n.pktsSent != n.pktsArrived {
-		return fmt.Errorf("network: packet conservation violated at quiescence: sent %d, arrived %d",
-			n.pktsSent, n.pktsArrived)
+	if n.Quiescent() {
+		if got := n.pktsArrived + n.pktsDead + n.pktsDiscarded + n.pktsDup; n.pktsSent != got {
+			return fmt.Errorf("network: packet conservation violated at quiescence: sent %d != arrived %d + dead %d + discarded %d + dup %d",
+				n.pktsSent, n.pktsArrived, n.pktsDead, n.pktsDiscarded, n.pktsDup)
+		}
 	}
 	return nil
 }
@@ -557,6 +659,218 @@ func (n *Network) MaxChannelUtilization() float64 {
 		return 0
 	}
 	return loads[0].Utilization
+}
+
+// --- Fault injection ------------------------------------------------------
+
+// faultPreStep applies due outage edges and router kills, then fires the
+// NIC's due timeouts, all before the deliver phase so a retransmission
+// issued this cycle can inject this cycle like any other send. Called only
+// when fault injection is enabled.
+func (n *Network) faultPreStep(now int64) {
+	if n.faults.ScheduleDue(now) {
+		n.applyFaultSchedule(now)
+	}
+	if n.nic != nil {
+		n.nic.Tick(now)
+	}
+}
+
+// applyFaultSchedule brings the outage and kill state in line with cycle
+// now. The schedule is evaluated from time predicates rather than stepped,
+// so it stays exact when the engine fast-forwards the clock across
+// boundaries: transitions on an idle network have no observable effect, and
+// the state seen at the next real cycle is identical either way.
+func (n *Network) applyFaultSchedule(now int64) {
+	p := n.faults.Params()
+	for _, o := range p.Outages {
+		r := n.routers[o.Node]
+		down := fault.OutageActive(o, now)
+		if r.LinkIsDown(o.Port) != down {
+			r.SetLinkDown(o.Port, down)
+		}
+	}
+	for _, k := range p.Kills {
+		if now >= k.At && !n.routers[k.Node].Dead() {
+			n.killRouter(now, k.Node)
+		}
+	}
+	n.faults.AdvanceSchedule(now)
+}
+
+// killRouter hard-fails one router: its flits are purged (counted as
+// dead-dropped, their packets marked dead) and its terminal's source queue
+// is emptied — packets that never injected die without flit accounting.
+func (n *Network) killRouter(now int64, node int) {
+	r := n.routers[node]
+	r.Kill(now, func(f router.Flit) {
+		n.flitsDeadDropped++
+		n.cFaultDeadDropped.Inc()
+		n.notePacketDead(f.P)
+	})
+	q := n.srcQ[node]
+	for {
+		f, ok := q.Pop()
+		if !ok {
+			break
+		}
+		n.queuedFlits--
+		n.notePacketDead(f.P)
+	}
+	n.srcPending[node>>6] &^= 1 << (uint(node) & 63)
+}
+
+// notePacketDead marks a packet lost inside the network, counting it once
+// even when several of its flits are discarded separately.
+func (n *Network) notePacketDead(p *router.Packet) {
+	if p.FaultDead {
+		return
+	}
+	p.FaultDead = true
+	n.pktsDead++
+}
+
+// faultOnLinkDelivery intercepts one flit emerging from router id's output
+// port p toward link.To. It reports true when the flit was consumed by a
+// fault (discarded); false lets normal delivery proceed. Discarded flits
+// bounce their credit straight back to the sender — the checksum logic at
+// the link receiver rejects the flit without buffering it, so the slot it
+// would have used is immediately free.
+func (n *Network) faultOnLinkDelivery(now int64, id, p int, f router.Flit, link topology.Link) bool {
+	if f.P.FaultDead {
+		// Trailing flit of a packet that already died: the wormhole drains
+		// here, keeping downstream state consistent.
+		n.discardFlit(now, id, p, f)
+		return true
+	}
+	if n.routers[link.To].Dead() {
+		n.notePacketDead(f.P)
+		n.discardFlit(now, id, p, f)
+		return true
+	}
+	if f.Head() && n.faults.DrawDrop() {
+		n.cFaultInjected.Inc()
+		n.notePacketDead(f.P)
+		n.discardFlit(now, id, p, f)
+		return true
+	}
+	if n.faults.DrawCorrupt() {
+		n.cFaultInjected.Inc()
+		f.P.FaultCorrupt = true
+	}
+	return false
+}
+
+// discardFlit accounts one fault-discarded flit and bounces its credit to
+// the sending router.
+func (n *Network) discardFlit(now int64, id, p int, f router.Flit) {
+	n.flitsDeadDropped++
+	n.cFaultDeadDropped.Inc()
+	n.routers[id].ReturnCredit(now, p, int(f.VC))
+}
+
+// acceptAtDest applies destination-side fault handling to a fully arrived
+// packet: checksum rejection of corrupt payloads and NIC deduplication of
+// redundant retransmissions. It reports true when the packet is accepted as
+// a genuine arrival.
+func (n *Network) acceptAtDest(now int64, p *router.Packet) bool {
+	if p.FaultDead {
+		return false // already accounted when it died
+	}
+	if p.FaultCorrupt {
+		// The per-flit checksums fail: the destination discards the packet.
+		// Recovery, if any, is by source timeout — there is no NACK.
+		n.pktsDiscarded++
+		n.cFaultDetected.Inc()
+		return false
+	}
+	if n.nic != nil && !n.nic.AckOrDup(now, p) {
+		n.pktsDup++
+		return false
+	}
+	return true
+}
+
+// NextInternalEventAt returns the next cycle at which the network itself
+// has scheduled work even while empty — a pending NIC timeout — or -1. The
+// engine folds it into its fast-forward wake-up and its stall detection.
+func (n *Network) NextInternalEventAt() int64 {
+	if n.nic == nil {
+		return -1
+	}
+	return n.nic.NextDeadline()
+}
+
+// FaultStats assembles the run's fault and recovery counters, or nil when
+// fault injection is disabled. DeliveredFraction and P99Inflation are left
+// for the run mode / sweep to fill.
+func (n *Network) FaultStats() *fault.Stats {
+	if n.faults == nil {
+		return nil
+	}
+	s := &fault.Stats{
+		Detected:          n.pktsDiscarded,
+		DeadFlits:         n.flitsDeadDropped,
+		DeadPackets:       n.pktsDead,
+		Duplicates:        n.pktsDup,
+		DeliveredFraction: 1,
+	}
+	s.CorruptInjected, s.DropInjected = n.faults.Injected()
+	if n.nic != nil {
+		s.Tracked, s.Acked, s.Retried, s.Abandoned, _ = n.nic.Counters()
+		s.Outstanding = n.nic.Outstanding()
+	}
+	return s
+}
+
+// NIC exposes the recovery NIC (nil when disabled) for the invariant
+// harness and its mutation test.
+func (n *Network) NIC() *fault.NIC { return n.nic }
+
+// Router returns router id, for invariant checking and tests.
+func (n *Network) Router(id int) *router.Router { return n.routers[id] }
+
+// StuckVCReport renders a human-readable dump of every router still holding
+// flits, credits, or VC grants — the deadlock watchdog attaches it to
+// stall failures so wedged runs are diagnosable from the report alone.
+func (n *Network) StuckVCReport() string {
+	var b strings.Builder
+	const maxLines = 64
+	lines := 0
+	for id, r := range n.routers {
+		stuck := r.StuckVCs()
+		// Dead routers are always listed: after a kill purge they hold
+		// nothing, but they are usually why everyone else is stuck.
+		if len(stuck) == 0 && r.InFlight() == 0 && r.PendingCredits() == 0 && !r.Dead() {
+			continue
+		}
+		if lines >= maxLines {
+			fmt.Fprintf(&b, "... (further routers omitted)\n")
+			break
+		}
+		state := ""
+		if r.Dead() {
+			state = " DEAD"
+		}
+		fmt.Fprintf(&b, "router %d%s: occ %d inflight %d pendingCredits %d\n",
+			id, state, r.Occupancy(), r.InFlight(), r.PendingCredits())
+		lines++
+		for _, s := range stuck {
+			if lines >= maxLines {
+				break
+			}
+			fmt.Fprintf(&b, "  in(port %d, vc %d): %d flits, pkt %d", s.Port, s.VC, s.Buffered, s.PacketID)
+			if s.Granted {
+				fmt.Fprintf(&b, " -> granted out(port %d, vc %d) credits %d", s.OutPort, s.OutVC, s.OutCredits)
+			}
+			b.WriteString("\n")
+			lines++
+		}
+	}
+	if b.Len() == 0 {
+		return "no stuck VCs: network is empty\n"
+	}
+	return b.String()
 }
 
 // RunUntilQuiescent steps until the network drains or maxCycles elapse,

@@ -17,6 +17,7 @@ import (
 	"runtime"
 
 	"noceval/internal/engine"
+	"noceval/internal/fault"
 	"noceval/internal/network"
 	"noceval/internal/obs"
 	"noceval/internal/par"
@@ -55,6 +56,11 @@ type Config struct {
 	// FullScan exists for one release as that test's reference side and
 	// will then be removed.
 	FullScan bool
+
+	// Inspect, when non-nil, receives the run's network after the engine
+	// finishes and before Run returns — the invariant harness hooks here to
+	// check conservation on the final state.
+	Inspect func(*network.Network)
 }
 
 // Default phase lengths applied when the corresponding Config fields are
@@ -107,6 +113,12 @@ type Result struct {
 	Accepted float64
 
 	MeasuredPackets int
+	// LostPackets counts measured packets abandoned by the recovery NIC
+	// after exhausting retries (always 0 without fault injection).
+	LostPackets int `json:",omitempty"`
+	// Faults carries the fault/recovery counters of a faulted run, nil
+	// otherwise. DeliveredFraction is the measured-packet delivery rate.
+	Faults *fault.Stats `json:",omitempty"`
 }
 
 // driver implements engine.Driver for the open-loop methodology: every
@@ -214,6 +226,7 @@ func Run(cfg Config) (*Result, error) {
 		perNodeCnt   = make([]int, n)
 		outstanding  int
 		ejectedFlits int64
+		lostPackets  int
 	)
 	// The three-phase schedule in absolute cycles: warmup [0, measureFrom),
 	// measurement [measureFrom, drainFrom), drain [drainFrom, ...). Packets
@@ -237,6 +250,14 @@ func Run(cfg Config) (*Result, error) {
 		perNodeSum[p.Src] += l
 		perNodeCnt[p.Src]++
 		outstanding--
+	}
+	// A tagged packet the NIC gives up on will never arrive; account it so
+	// the drain phase can still complete and the loss shows in the result.
+	net.OnDeadDrop = func(now int64, p *router.Packet) {
+		if p.Measured {
+			outstanding--
+			lostPackets++
+		}
 	}
 
 	net.SetFullScan(cfg.FullScan)
@@ -303,6 +324,16 @@ func Run(cfg Config) (*Result, error) {
 	// throughput as instability.
 	if res.Accepted < 0.9*cfg.Rate {
 		res.Stable = false
+	}
+	res.LostPackets = lostPackets
+	if fs := net.FaultStats(); fs != nil {
+		if total := len(latencies) + lostPackets; total > 0 {
+			fs.DeliveredFraction = float64(len(latencies)) / float64(total)
+		}
+		res.Faults = fs
+	}
+	if cfg.Inspect != nil {
+		cfg.Inspect(net)
 	}
 	cfg.Progress.Done(net.Now())
 	return res, nil

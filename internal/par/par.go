@@ -7,6 +7,7 @@ package par
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -16,6 +17,13 @@ import (
 // simulator in this repository is deterministic given its seed and shares
 // no mutable state across runs, so experiment sweeps parallelize
 // perfectly.
+//
+// A task panic does not kill the worker pool: the remaining tasks still
+// run, and once the pool drains the first panic is re-raised on the
+// calling goroutine wrapped in a TaskPanic — so the failure carries the
+// task index and surfaces where the sweep was started instead of crashing
+// the process from an anonymous worker. A panic takes precedence over any
+// task errors.
 //
 // workers <= 0 selects GOMAXPROCS.
 func Parallel(n, workers int, task func(i int) error) error {
@@ -29,23 +37,36 @@ func Parallel(n, workers int, task func(i int) error) error {
 		workers = n
 	}
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		firstErr   error
+		firstPanic *TaskPanic
 	)
+	run := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				mu.Lock()
+				if firstPanic == nil {
+					firstPanic = &TaskPanic{Task: i, Value: v, Stack: debug.Stack()}
+				}
+				mu.Unlock()
+			}
+		}()
+		if err := task(i); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("par: parallel task %d: %w", i, err)
+			}
+			mu.Unlock()
+		}
+	}
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				if err := task(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("par: parallel task %d: %w", i, err)
-					}
-					mu.Unlock()
-				}
+				run(i)
 			}
 		}()
 	}
@@ -54,5 +75,22 @@ func Parallel(n, workers int, task func(i int) error) error {
 	}
 	close(next)
 	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
 	return firstErr
+}
+
+// TaskPanic wraps a panic raised by a task so Parallel can re-raise it on
+// the calling goroutine with the task index and the original stack
+// attached.
+type TaskPanic struct {
+	Task  int    // index of the task that panicked
+	Value any    // the value passed to panic
+	Stack []byte // stack of the panicking task, captured at recover time
+}
+
+// Error makes a TaskPanic readable when it escapes to a crash report.
+func (p *TaskPanic) Error() string {
+	return fmt.Sprintf("par: parallel task %d panicked: %v\n%s", p.Task, p.Value, p.Stack)
 }

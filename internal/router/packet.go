@@ -68,6 +68,19 @@ type Packet struct {
 	// phase; only these contribute to latency statistics.
 	Measured bool
 
+	// FaultTxn is the end-to-end transaction identity assigned by the
+	// recovery NIC (0 when untracked). Retransmitted clones share the
+	// original's FaultTxn so the receiver can acknowledge whichever
+	// incarnation arrives first and discard the rest.
+	FaultTxn uint64
+	// FaultCorrupt marks a packet whose payload was corrupted on a link; the
+	// destination NIC's checksum rejects it at ejection.
+	FaultCorrupt bool
+	// FaultDead marks a packet that died inside the network (head flit
+	// dropped, flits purged by a router kill, or destination router dead);
+	// its remaining flits are discarded at their next delivery.
+	FaultDead bool
+
 	Route routing.State
 	Hops  int
 }

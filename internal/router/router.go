@@ -140,6 +140,14 @@ type Router struct {
 	// check into a single flag test.
 	awake bool
 
+	// dead marks a hard-killed router: its state has been purged and it
+	// accepts neither flits nor credits. linkDown has bit p set while output
+	// port p's channel is in an outage window: the port delivers no flits
+	// and drains no credits. Both stay zero outside fault-injection runs, so
+	// the fault checks on the hot paths never divert.
+	dead     bool
+	linkDown uint64
+
 	// maskHot is true when ports*VCs fits in 64 bits, enabling the input-VC
 	// state bitmasks below. The compute phases then iterate only VCs that
 	// can make progress, in the same ascending/rotated order as the full
@@ -336,6 +344,11 @@ func (r *Router) SetLegacyScan(v bool) {
 // receiveCredit schedules a credit return for output VC (port, vc); it
 // becomes usable after the link delay.
 func (r *Router) receiveCredit(now int64, port, vc int) {
+	if r.dead {
+		// Credits sent to a killed router vanish with it; accepting them
+		// would leave it permanently non-idle.
+		return
+	}
 	if !r.awake && r.wake != nil {
 		r.awake = true
 		r.wake()
@@ -348,7 +361,7 @@ func (r *Router) receiveCredit(now int64, port, vc int) {
 // PopDelivery removes the flit, if any, emerging from output port p's
 // pipeline at cycle now.
 func (r *Router) PopDelivery(now int64, p int) (Flit, bool) {
-	if r.pipes[p] == nil {
+	if r.pipes[p] == nil || r.linkDown&(1<<uint(p)) != 0 {
 		return Flit{}, false
 	}
 	f, ok := r.pipes[p].PopReady(now)
@@ -403,7 +416,7 @@ func (r *Router) drainCredits(now int64) {
 	if !r.maskHot {
 		for p := 0; p < r.ports; p++ {
 			cp := r.creditPipes[p]
-			if cp == nil {
+			if cp == nil || r.linkDown&(1<<uint(p)) != 0 {
 				continue
 			}
 			for {
@@ -420,7 +433,7 @@ func (r *Router) drainCredits(now int64) {
 		}
 		return
 	}
-	for m := r.creditMask; m != 0; m &= m - 1 {
+	for m := r.creditMask &^ r.linkDown; m != 0; m &= m - 1 {
 		p := bits.TrailingZeros64(m)
 		cp := r.creditPipes[p]
 		for {
@@ -840,4 +853,158 @@ func (r *Router) forward(now int64, p, v int) {
 	}
 	// The winner consumed this input port's nomination.
 	r.saInWin[p] = -1
+}
+
+// --- Fault-injection support ----------------------------------------------
+//
+// The methods below exist for internal/fault and its invariant harness.
+// None of them is called on fault-free runs, and the two flags they set
+// (dead, linkDown) cost the hot paths only the always-false checks wired in
+// above.
+
+// Dead reports whether the router has been hard-killed.
+func (r *Router) Dead() bool { return r.dead }
+
+// LinkIsDown reports whether output port p is inside an outage window.
+func (r *Router) LinkIsDown(p int) bool { return r.linkDown&(1<<uint(p)) != 0 }
+
+// SetLinkDown opens or closes an outage window on output port p: a down
+// port delivers no flits and drains no returning credits, freezing the
+// channel's contents in place. Flow control stays intact — forwarding into
+// the down channel stops once its credits exhaust, and everything frozen
+// resumes when the window closes.
+func (r *Router) SetLinkDown(p int, down bool) {
+	if down {
+		r.linkDown |= 1 << uint(p)
+	} else {
+		r.linkDown &^= 1 << uint(p)
+	}
+}
+
+// Kill hard-fails the router at cycle now: every buffered flit, in-flight
+// pipeline flit and queued credit is purged, with onFlit invoked for each
+// discarded flit so the network can account the loss. Credits for purged
+// input-buffer flits are bounced upstream (the buffer slots are gone with
+// the router, but the upstream's credit counters must stay conserved for
+// the surviving fabric). A dead router accepts neither flits nor credits;
+// deliveries into it are discarded by the network.
+func (r *Router) Kill(now int64, onFlit func(f Flit)) {
+	if r.dead {
+		return
+	}
+	r.dead = true
+	for p := 0; p < r.ports; p++ {
+		for v := 0; v < r.cfg.VCs; v++ {
+			ivc := r.in[p][v]
+			for {
+				f, ok := ivc.buf.Pop()
+				if !ok {
+					break
+				}
+				onFlit(f)
+				if up := r.up[p]; up.r != nil {
+					up.r.receiveCredit(now, up.port, v)
+				}
+			}
+			ivc.reset()
+		}
+		if pp := r.pipes[p]; pp != nil {
+			pp.Drain(func(f Flit) { onFlit(f) })
+		}
+		if cp := r.creditPipes[p]; cp != nil {
+			cp.Drain(func(int) {})
+		}
+		for v := range r.out[p] {
+			r.out[p][v].owned = false
+		}
+	}
+	r.occupancy, r.inFlight, r.pendingCredits = 0, 0, 0
+	r.occMask, r.reqMask, r.gntMask, r.gntPorts = 0, 0, 0, 0
+	r.creditMask, r.pipeMask = 0, 0
+}
+
+// ReturnCredit bounces a credit for output VC (port, vc) back to this
+// router, as if the discarded flit had been accepted downstream and
+// instantly forwarded. The fault layer uses it when a delivery is discarded
+// (drop, dead packet, dead destination) so sender-side credits never leak.
+func (r *Router) ReturnCredit(now int64, port, vc int) { r.receiveCredit(now, port, vc) }
+
+// OutCredits returns the credit count of output VC (p, vc); invariant
+// checking compares it against the downstream buffer state.
+func (r *Router) OutCredits(p, vc int) int { return r.out[p][vc].credits }
+
+// OutOwned reports whether output VC (p, vc) is currently allocated to an
+// in-flight packet.
+func (r *Router) OutOwned(p, vc int) bool { return r.out[p][vc].owned }
+
+// InBufLen returns the number of flits buffered in input VC (p, vc).
+func (r *Router) InBufLen(p, vc int) int { return r.in[p][vc].buf.Len() }
+
+// PipeFlitsVC counts the flits in output port p's pipeline traveling on
+// VC vc.
+func (r *Router) PipeFlitsVC(p, vc int) int {
+	if r.pipes[p] == nil {
+		return 0
+	}
+	n := 0
+	r.pipes[p].ForEach(func(f Flit) {
+		if int(f.VC) == vc {
+			n++
+		}
+	})
+	return n
+}
+
+// CreditsInFlight counts the credits for VC vc queued in output port p's
+// credit pipe.
+func (r *Router) CreditsInFlight(p, vc int) int {
+	if r.creditPipes[p] == nil {
+		return 0
+	}
+	n := 0
+	r.creditPipes[p].ForEach(func(v int) {
+		if v == vc {
+			n++
+		}
+	})
+	return n
+}
+
+// PendingCredits returns the number of credits queued in this router's
+// credit pipes (for stuck-state dumps).
+func (r *Router) PendingCredits() int { return r.pendingCredits }
+
+// StuckVCs summarizes every input VC holding flits or an unreleased grant,
+// for the deadlock watchdog's dump. Each entry reports the VC, its buffer
+// depth, and the granted output if any.
+func (r *Router) StuckVCs() []StuckVC {
+	var out []StuckVC
+	for p := 0; p < r.ports; p++ {
+		for v := 0; v < r.cfg.VCs; v++ {
+			ivc := r.in[p][v]
+			if ivc.buf.Len() == 0 && !ivc.granted {
+				continue
+			}
+			s := StuckVC{Port: p, VC: v, Buffered: ivc.buf.Len(), Granted: ivc.granted}
+			if ivc.granted {
+				s.OutPort, s.OutVC = ivc.outPort, ivc.outVC
+				s.OutCredits = r.out[ivc.outPort][ivc.outVC].credits
+			}
+			if f, ok := ivc.buf.Peek(); ok {
+				s.PacketID = f.P.ID
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// StuckVC describes one input VC that still holds state (see StuckVCs).
+type StuckVC struct {
+	Port, VC       int
+	Buffered       int
+	Granted        bool
+	OutPort, OutVC int
+	OutCredits     int
+	PacketID       uint64
 }

@@ -175,3 +175,25 @@ func (d *DelayLine[T]) NextReadyAt() int64 {
 	}
 	return d.headAt
 }
+
+// ForEach visits every in-flight item oldest-first without removing any.
+// It is meant for inspection (invariant checking, stuck-state dumps), not
+// the per-cycle path.
+func (d *DelayLine[T]) ForEach(fn func(v T)) {
+	for i := 0; i < d.q.Len(); i++ {
+		fn(d.q.At(i).v)
+	}
+}
+
+// Drain removes every in-flight item, ready or not, invoking fn on each in
+// delivery order. Fault injection uses it to purge the pipelines of a
+// killed router.
+func (d *DelayLine[T]) Drain(fn func(v T)) {
+	for {
+		it, ok := d.q.Pop()
+		if !ok {
+			return
+		}
+		fn(it.v)
+	}
+}

@@ -1,0 +1,61 @@
+package topology_test
+
+// Fuzz target for the topology name parser. ByName consumes untrusted
+// strings (CLI flags, JSON experiment specs) and its output feeds both
+// the simulator and the experiment-cache keys, so it must never panic,
+// never build an over-sized graph, and always produce a structurally
+// sound, reciprocal link table.
+
+import (
+	"testing"
+
+	"noceval/internal/topology"
+)
+
+func FuzzByName(f *testing.F) {
+	for _, seed := range []string{
+		"mesh8x8", "torus8x8", "ring64", "mesh4x4", "mesh16x16",
+		"mesh1x1", "mesh0x0", "mesh-2x4", "mesh08x8", "mesh2x2junk",
+		"ring1", "ring99999999", "torus3x", "mesh", "hypercube4", "",
+		"mesh999999x999999", "ring-5", "mesh2x2\x00",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		topo, err := topology.ByName(name)
+		if err != nil {
+			return
+		}
+		// Structural soundness of anything the parser accepts.
+		if topo.N < 1 || topo.N > topology.MaxNodes {
+			t.Fatalf("%q: node count %d out of range", name, topo.N)
+		}
+		n := 1
+		for _, k := range topo.K {
+			if k < 2 {
+				t.Fatalf("%q: dimension size %d < 2 accepted", name, k)
+			}
+			n *= k
+		}
+		if n != topo.N || topo.Dims != len(topo.K) || topo.Radix != 2*topo.Dims {
+			t.Fatalf("%q: inconsistent shape N=%d K=%v Dims=%d Radix=%d", name, topo.N, topo.K, topo.Dims, topo.Radix)
+		}
+		// Every connected link must be in range and reciprocal: the
+		// destination's output port at our input port leads straight back.
+		for node := 0; node < topo.N; node++ {
+			for port := 0; port < topo.Radix; port++ {
+				l := topo.LinkAt(node, port)
+				if !l.Connected() {
+					continue
+				}
+				if l.To < 0 || l.To >= topo.N || l.ToPort < 0 || l.ToPort >= topo.Radix {
+					t.Fatalf("%q: link %d.%d out of range: %+v", name, node, port, l)
+				}
+				back := topo.LinkAt(l.To, l.ToPort)
+				if back.To != node || back.ToPort != port {
+					t.Fatalf("%q: link %d.%d not reciprocal: %+v / %+v", name, node, port, l, back)
+				}
+			}
+		}
+	})
+}

@@ -279,26 +279,61 @@ func NewRing(n int) *Topology {
 	return newKAryNCube(RingKind, fmt.Sprintf("%d-node ring", n), []int{n}, true, 1)
 }
 
+// MaxNodes bounds the size of topologies ByName will construct, so an
+// untrusted spec string (a config file, a fuzzer) cannot demand a
+// multi-gigabyte link table.
+const MaxNodes = 1 << 16
+
+// checkDims validates parsed dimension sizes: every dimension must hold
+// at least 2 nodes (a 1-wide dimension has no channels and the
+// constructors reject it) and the node count must stay within MaxNodes.
+func checkDims(name string, ks ...int) error {
+	n := 1
+	for _, k := range ks {
+		if k < 2 {
+			return fmt.Errorf("topology: %q: dimension size %d < 2", name, k)
+		}
+		if n > MaxNodes/k {
+			return fmt.Errorf("topology: %q exceeds %d nodes", name, MaxNodes)
+		}
+		n *= k
+	}
+	return nil
+}
+
 // ByName constructs a topology from a name like "mesh8x8", "torus8x8" or
-// "ring64".
+// "ring64". Only canonical spellings are accepted: the parsed values must
+// reproduce the input exactly, which rejects trailing junk, signs, and
+// non-canonical digits ("mesh08x8") that would otherwise alias a valid
+// name — names feed cache keys, so two spellings of one topology must not
+// hash apart, nor two topologies collide on one spelling.
 func ByName(name string) (*Topology, error) {
 	switch {
 	case strings.HasPrefix(name, "mesh"):
 		var kx, ky int
-		if _, err := fmt.Sscanf(name, "mesh%dx%d", &kx, &ky); err != nil {
+		if _, err := fmt.Sscanf(name, "mesh%dx%d", &kx, &ky); err != nil || name != fmt.Sprintf("mesh%dx%d", kx, ky) {
 			return nil, fmt.Errorf("topology: bad mesh spec %q", name)
+		}
+		if err := checkDims(name, kx, ky); err != nil {
+			return nil, err
 		}
 		return NewMesh(kx, ky), nil
 	case strings.HasPrefix(name, "torus"):
 		var kx, ky int
-		if _, err := fmt.Sscanf(name, "torus%dx%d", &kx, &ky); err != nil {
+		if _, err := fmt.Sscanf(name, "torus%dx%d", &kx, &ky); err != nil || name != fmt.Sprintf("torus%dx%d", kx, ky) {
 			return nil, fmt.Errorf("topology: bad torus spec %q", name)
+		}
+		if err := checkDims(name, kx, ky); err != nil {
+			return nil, err
 		}
 		return NewTorus(kx, ky), nil
 	case strings.HasPrefix(name, "ring"):
 		var n int
-		if _, err := fmt.Sscanf(name, "ring%d", &n); err != nil {
+		if _, err := fmt.Sscanf(name, "ring%d", &n); err != nil || name != fmt.Sprintf("ring%d", n) {
 			return nil, fmt.Errorf("topology: bad ring spec %q", name)
+		}
+		if err := checkDims(name, n); err != nil {
+			return nil, err
 		}
 		return NewRing(n), nil
 	default:
