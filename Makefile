@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race fuzz-smoke golden golden-update check bench bench-compare figures ablations examples clean
+.PHONY: all build vet fmt-check test race fuzz-smoke golden golden-update check bench bench-compare obs-smoke figures ablations examples clean
 
 all: build vet test
 
@@ -44,9 +44,15 @@ golden:
 golden-update:
 	$(GO) run ./cmd/figures -golden -out results/golden
 
+# Metrics-endpoint smoke: start the live exporter against a real cached
+# sweep, scrape /metrics, and validate the Prometheus exposition format
+# plus the cross-run counters (see internal/obs/export/export_test.go).
+obs-smoke:
+	$(GO) test ./internal/obs/export -run TestMetricsEndpointSmoke -count=1 -v
+
 # Tier-1 gate: everything that must stay green. The golden regression
 # test runs as part of `test` (cmd/figures); `golden` re-runs it verbosely.
-check: build vet fmt-check test race
+check: build vet fmt-check test race obs-smoke
 
 # One testing.B per paper table/figure; each reports its headline metric.
 bench:
@@ -60,6 +66,7 @@ bench:
 bench-compare:
 	@mkdir -p results
 	$(GO) test -run '^$$' -bench 'IdleOpenLoopLowLoad|IdleBatchTail' -benchtime=10x -count=5 . | tee results/bench-engines.txt
+	$(GO) run ./cmd/benchjson -in results/bench-engines.txt -out results/bench-engines.json
 	@grep 'engine=fullscan' results/bench-engines.txt | sed 's|/engine=fullscan||' > results/bench-fullscan.txt
 	@grep 'engine=activeset' results/bench-engines.txt | sed 's|/engine=activeset||' > results/bench-activeset.txt
 	@if command -v benchstat >/dev/null 2>&1; then \

@@ -28,6 +28,7 @@ import (
 	"noceval/internal/cmp"
 	"noceval/internal/core"
 	"noceval/internal/network"
+	"noceval/internal/obs/export"
 	"noceval/internal/openloop"
 	"noceval/internal/routing"
 	"noceval/internal/stats"
@@ -40,8 +41,28 @@ func main() {
 	out := flag.String("out", "", "also write the report to this file")
 	cache := flag.Bool("cache", false, "reuse experiment results from the on-disk cache; cold points are computed and stored")
 	cacheDir := flag.String("cache-dir", ".expcache", "experiment cache directory (with -cache)")
+	ledgerPath := flag.String("ledger", "", "append one JSONL record per experiment run to this file")
+	serve := flag.String("serve", "", "serve live metrics on this address (e.g. :9500) while running")
 	flag.Parse()
 
+	// -serve installs the registry the other subsystems publish into, so it
+	// runs before the cache opens.
+	if *serve != "" {
+		srv, err := export.Enable(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("serving live metrics on http://%s/metrics\n", srv.Addr())
+	}
+	if *ledgerPath != "" {
+		if err := core.EnableLedger(*ledgerPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer core.DisableLedger()
+	}
 	if *cache {
 		if err := core.EnableCache(*cacheDir); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -76,6 +97,9 @@ func main() {
 	}
 	if s, ok := core.CacheStats(); ok {
 		fmt.Printf("\nexperiment cache: %s\n", s)
+	}
+	if *ledgerPath != "" {
+		fmt.Printf("run ledger: %d records appended to %s\n", core.LedgerAppends(), *ledgerPath)
 	}
 }
 

@@ -1,0 +1,55 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so benchmark results can be archived next to figures and
+// diffed across commits without scraping text. Repeated runs of the same
+// benchmark (-count=N) are aggregated into one entry with their mean.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . | benchjson -out results/bench.json
+//	benchjson -in results/bench-engines.txt -out results/bench-engines.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	in := flag.String("in", "", "benchmark text output to parse (default stdin)")
+	out := flag.String("out", "", "JSON output file (default stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := Parse(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(results), *out)
+}

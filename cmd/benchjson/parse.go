@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark, aggregated over its repeated runs (-count=N):
+// every per-op value is the mean across runs.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped, sub-
+	// benchmark path included (e.g. "BenchmarkIdleBatchTail/engine=activeset").
+	Name string `json:"name"`
+	// Runs is the number of result lines aggregated into this entry.
+	Runs int `json:"runs"`
+	// Iterations is the mean b.N across runs.
+	Iterations float64 `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present only with -benchmem.
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds any custom b.ReportMetric units (e.g. "sim-cycles/s").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// accum sums one benchmark's runs before averaging.
+type accum struct {
+	runs                     int
+	iters, ns, bytes, allocs float64
+	hasBytes, hasAllocs      bool
+	metrics                  map[string]float64
+	metricRuns               map[string]int
+}
+
+// Parse reads `go test -bench` output and returns one aggregated Result
+// per benchmark name, in first-seen order. Non-benchmark lines (headers,
+// PASS/ok trailers, benchstat noise) are skipped.
+func Parse(r io.Reader) ([]Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	acc := map[string]*accum{}
+	var order []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is "Name N value unit [value unit ...]".
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := stripProcs(fields[0])
+		iters, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		a := acc[name]
+		if a == nil {
+			a = &accum{metrics: map[string]float64{}, metricRuns: map[string]int{}}
+			acc[name] = a
+			order = append(order, name)
+		}
+		a.runs++
+		a.iters += iters
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				a.ns += v
+			case "B/op":
+				a.bytes += v
+				a.hasBytes = true
+			case "allocs/op":
+				a.allocs += v
+				a.hasAllocs = true
+			default:
+				a.metrics[unit] += v
+				a.metricRuns[unit]++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	results := make([]Result, 0, len(order))
+	for _, name := range order {
+		a := acc[name]
+		n := float64(a.runs)
+		res := Result{
+			Name:       name,
+			Runs:       a.runs,
+			Iterations: a.iters / n,
+			NsPerOp:    a.ns / n,
+		}
+		if a.hasBytes {
+			res.BytesPerOp = a.bytes / n
+		}
+		if a.hasAllocs {
+			res.AllocsPerOp = a.allocs / n
+		}
+		if len(a.metrics) > 0 {
+			res.Metrics = make(map[string]float64, len(a.metrics))
+			for unit, sum := range a.metrics {
+				res.Metrics[unit] = sum / float64(a.metricRuns[unit])
+			}
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkFoo-8" -> "BenchmarkFoo"). Sub-benchmark
+// slashes are kept.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

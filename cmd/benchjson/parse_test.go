@@ -1,0 +1,84 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: noceval
+cpu: Some CPU @ 2.00GHz
+BenchmarkIdleOpenLoopLowLoad/engine=fullscan-8         	      10	  40000000 ns/op	        12.50 sim-Mcycles/s	 1048576 B/op	    2048 allocs/op
+BenchmarkIdleOpenLoopLowLoad/engine=fullscan-8         	      10	  60000000 ns/op	        12.70 sim-Mcycles/s	 1048576 B/op	    2050 allocs/op
+BenchmarkIdleOpenLoopLowLoad/engine=activeset-8        	      10	   5000000 ns/op	       100.0 sim-Mcycles/s	  524288 B/op	    1024 allocs/op
+BenchmarkStepObsDisabled-8                             	 1000000	      1050 ns/op
+PASS
+ok  	noceval	12.345s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(results), results)
+	}
+
+	full := results[0]
+	if full.Name != "BenchmarkIdleOpenLoopLowLoad/engine=fullscan" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped, subtest kept)", full.Name)
+	}
+	if full.Runs != 2 {
+		t.Errorf("runs = %d, want 2 (repeated -count lines aggregate)", full.Runs)
+	}
+	if full.NsPerOp != 50000000 {
+		t.Errorf("ns/op = %g, want the mean 5e7", full.NsPerOp)
+	}
+	if full.AllocsPerOp != 2049 {
+		t.Errorf("allocs/op = %g, want 2049", full.AllocsPerOp)
+	}
+	if got := full.Metrics["sim-Mcycles/s"]; math.Abs(got-12.6) > 1e-9 {
+		t.Errorf("custom metric = %g, want 12.6", got)
+	}
+
+	active := results[1]
+	if active.Name != "BenchmarkIdleOpenLoopLowLoad/engine=activeset" || active.Runs != 1 {
+		t.Errorf("second benchmark = %+v", active)
+	}
+
+	// A plain line without -benchmem omits the memory fields.
+	plain := results[2]
+	if plain.Name != "BenchmarkStepObsDisabled" || plain.NsPerOp != 1050 {
+		t.Errorf("plain benchmark = %+v", plain)
+	}
+	if plain.BytesPerOp != 0 || plain.AllocsPerOp != 0 || plain.Metrics != nil {
+		t.Errorf("plain benchmark should have no memory/custom fields: %+v", plain)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	results, err := Parse(strings.NewReader("PASS\nok noceval 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("parsed %d benchmarks from empty output", len(results))
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":           "BenchmarkFoo",
+		"BenchmarkFoo":             "BenchmarkFoo",
+		"BenchmarkFoo/rate=0.5-16": "BenchmarkFoo/rate=0.5",
+		"BenchmarkFoo-bar":         "BenchmarkFoo-bar",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -8,6 +8,9 @@
 //	figures -fig 5              # one figure
 //	figures -table 3            # one table
 //	figures -full               # paper-scale parameters (much slower)
+//	figures -all -cache -serve :9500 -ledger runs.jsonl
+//	                            # live metrics + one record per run
+//	figures -report runs.jsonl  # summarize a run ledger and exit
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"noceval/internal/core"
+	"noceval/internal/obs/export"
 	"noceval/internal/stats"
 )
 
@@ -86,12 +90,42 @@ func main() {
 		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
 		cache    = flag.Bool("cache", false, "reuse experiment results from the on-disk cache; cold points are computed and stored")
 		cacheDir = flag.String("cache-dir", ".expcache", "experiment cache directory (with -cache)")
+		ledger   = flag.String("ledger", "", "append one JSONL record per experiment run to this file")
+		serve    = flag.String("serve", "", "serve live metrics on this address (e.g. :9500) while generating")
+		report   = flag.String("report", "", "summarize a run ledger file into a dashboard table and exit")
 	)
 	flag.Parse()
+
+	if *report != "" {
+		if err := writeReport(os.Stdout, *report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	// Order matters: -serve installs the process-wide registry that the
+	// cache, pool, engine and fault subsystems publish into, so it must be
+	// live before the cache opens.
+	if *serve != "" {
+		srv, err := export.Enable(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("serving live metrics on http://%s/metrics\n", srv.Addr())
+	}
+	if *ledger != "" {
+		if err := core.EnableLedger(*ledger); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer core.DisableLedger()
 	}
 	if *cache {
 		if err := core.EnableCache(*cacheDir); err != nil {
@@ -154,5 +188,8 @@ func main() {
 	}
 	if s, ok := core.CacheStats(); ok {
 		fmt.Printf("experiment cache: %s\n", s)
+	}
+	if *ledger != "" {
+		fmt.Printf("run ledger: %d records appended to %s\n", core.LedgerAppends(), *ledger)
 	}
 }

@@ -35,6 +35,8 @@
 //	-obs-out dir        output directory (default results/telemetry)
 //	-progress           heartbeat with cycles/sec and ETA on stderr
 //	-cpuprofile f.pprof -memprofile f.pprof
+//	-ledger runs.jsonl  append one structured record per experiment run
+//	-serve :9500        live metrics endpoint (/metrics, /progress, ...)
 package main
 
 import (
@@ -181,6 +183,10 @@ func cmdOpenLoop(args []string) error {
 		return err
 	}
 	p.Fault = fo.build()
+	if err := oo.setup(); err != nil {
+		return err
+	}
+	defer oo.teardown()
 	if err := oo.startProfiling(); err != nil {
 		return err
 	}
@@ -218,6 +224,10 @@ func cmdSweep(args []string) error {
 		return err
 	}
 	p.Fault = fo.build()
+	if err := oo.setup(); err != nil {
+		return err
+	}
+	defer oo.teardown()
 	if err := oo.startProfiling(); err != nil {
 		return err
 	}
@@ -260,6 +270,10 @@ func cmdBatch(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := oo.setup(); err != nil {
+		return err
+	}
+	defer oo.teardown()
 	if err := oo.startProfiling(); err != nil {
 		return err
 	}
@@ -303,11 +317,22 @@ func cmdBarrier(args []string) error {
 	b := fs.Int("b", 1000, "packets per node per phase")
 	phases := fs.Int("phases", 1, "barrier phases")
 	fo := faultFlags(fs)
+	oo := obsFlags(fs, false)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	p.Fault = fo.build()
+	if err := oo.setup(); err != nil {
+		return err
+	}
+	defer oo.teardown()
+	if err := oo.startProfiling(); err != nil {
+		return err
+	}
 	res, err := core.Barrier(*p, *b, *phases)
+	if err == nil {
+		err = oo.stopProfiling()
+	}
 	if err != nil {
 		return err
 	}

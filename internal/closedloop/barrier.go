@@ -36,6 +36,10 @@ type BarrierConfig struct {
 	// Inspect, when non-nil, receives the run's network after the engine
 	// finishes (see BatchConfig.Inspect).
 	Inspect func(*network.Network)
+
+	// OnEngine, when non-nil, receives the engine outcome after the run
+	// (see BatchConfig.OnEngine).
+	OnEngine func(engine.Outcome)
 }
 
 // BarrierResult summarizes a barrier-model run.
@@ -90,11 +94,15 @@ func RunBarrier(cfg BarrierConfig) (*BarrierResult, error) {
 	}
 
 	net.SetFullScan(cfg.FullScan)
-	_, completed := engine.Run(engine.Config{
+	eo := engine.RunOutcome(engine.Config{
 		Net:      net,
 		Deadline: cfg.MaxCycles,
 		FullScan: cfg.FullScan,
 	}, d)
+	completed := eo.Completed
+	if cfg.OnEngine != nil {
+		cfg.OnEngine(eo)
+	}
 	res.Runtime = net.Now()
 	if fs := net.FaultStats(); fs != nil {
 		if d.injectedTotal > 0 {

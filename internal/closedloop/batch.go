@@ -88,6 +88,11 @@ type BatchConfig struct {
 	// finishes and before RunBatch returns — the invariant harness hooks
 	// here to check conservation on the final state.
 	Inspect func(*network.Network)
+
+	// OnEngine, when non-nil, receives the engine outcome (stepped vs
+	// fast-forwarded cycle split) after the run finishes. The run ledger
+	// hooks here; the outcome never feeds back into results.
+	OnEngine func(engine.Outcome)
 }
 
 func (c *BatchConfig) fillDefaults() {
@@ -479,7 +484,7 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 	}
 
 	net.SetFullScan(cfg.FullScan)
-	_, completed := engine.Run(engine.Config{
+	eo := engine.RunOutcome(engine.Config{
 		Net:      net,
 		Deadline: cfg.MaxCycles,
 		Progress: cfg.Progress,
@@ -489,7 +494,10 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 			res.StallDump = d.stallDump(now)
 		},
 	}, d)
-	res.Completed = completed
+	res.Completed = eo.Completed
+	if cfg.OnEngine != nil {
+		cfg.OnEngine(eo)
+	}
 	cfg.Progress.Done(net.Now())
 
 	if cfg.SampleInterval > 0 && net.Now() > d.bucketStart {

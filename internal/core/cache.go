@@ -12,6 +12,7 @@ import (
 
 	"noceval/internal/closedloop"
 	"noceval/internal/expcache"
+	"noceval/internal/obs"
 )
 
 // CacheSchemaVersion salts every experiment-cache key. Bump it whenever a
@@ -33,6 +34,10 @@ func EnableCache(dir string) error {
 	if err != nil {
 		return err
 	}
+	// Publish cache traffic into the process-wide registry when one is
+	// installed (a nil registry detaches the instruments). Commands that
+	// serve live metrics install the registry before enabling the cache.
+	c.SetMetrics(obs.Default())
 	expCache.Store(c)
 	return nil
 }
@@ -56,23 +61,33 @@ func CacheStats() (s expcache.Stats, ok bool) {
 // Results are only stored on success, and a failed store never fails the
 // run — the cache can only trade disk for compute, not correctness.
 func cached[T any](kind string, cfg any, compute func() (*T, error)) (*T, error) {
+	res, _, _, err := cachedInfo(kind, cfg, compute)
+	return res, err
+}
+
+// cachedInfo is cached with the cache outcome exposed for the run ledger:
+// consulted reports whether an enabled cache was actually keyed and
+// queried, hit whether it served the result.
+func cachedInfo[T any](kind string, cfg any, compute func() (*T, error)) (res *T, consulted, hit bool, err error) {
 	c := expCache.Load()
 	if c == nil {
-		return compute()
+		res, err = compute()
+		return res, false, false, err
 	}
 	k, err := c.Key(kind, cfg)
 	if err != nil {
-		return compute()
+		res, err = compute()
+		return res, false, false, err
 	}
 	out := new(T)
 	if c.Get(k, out) {
-		return out, nil
+		return out, true, true, nil
 	}
-	res, err := compute()
+	res, err = compute()
 	if err == nil {
 		c.Put(k, res)
 	}
-	return res, err
+	return res, true, false, err
 }
 
 // openLoopKey is the cache identity of one open-loop point: the full

@@ -1,0 +1,151 @@
+package core
+
+// The run ledger: every runner in this package appends one structured
+// record per execution — spec hash, cache outcome, wall time, simulated
+// cycles, the engine's stepped/fast-forwarded split, and fault counters —
+// when a ledger is enabled. The same scope also maintains the
+// core.runs_started/finished counters in the process-wide registry, so the
+// live export endpoint can show sweep progress even with the ledger off.
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"noceval/internal/engine"
+	"noceval/internal/expcache"
+	"noceval/internal/fault"
+	"noceval/internal/obs"
+	"noceval/internal/obs/ledger"
+)
+
+// runLedger is the process-wide run ledger; nil means recording is off. It
+// is an atomic pointer for the same reason expCache is: runners append
+// from Parallel workers while tests enable and disable it around them.
+var runLedger atomic.Pointer[ledger.Ledger]
+
+// EnableLedger opens (creating if needed) the append-only run ledger at
+// path; every subsequent OpenLoop, Batch, Barrier and Exec run appends one
+// record. A torn final line from a crashed process is recovered on open.
+func EnableLedger(path string) error {
+	l, err := ledger.Open(path)
+	if err != nil {
+		return err
+	}
+	if prev := runLedger.Swap(l); prev != nil {
+		prev.Close()
+	}
+	return nil
+}
+
+// DisableLedger stops recording and closes the ledger file.
+func DisableLedger() error {
+	return runLedger.Swap(nil).Close()
+}
+
+// LedgerAppends reports the records appended since EnableLedger, 0 when
+// the ledger is off.
+func LedgerAppends() int64 {
+	return runLedger.Load().Appends()
+}
+
+// runScope collects one runner execution's telemetry. A nil scope (nothing
+// is observing: no ledger, no default registry) is a no-op on every
+// method, so the disabled path costs two atomic loads per run.
+type runScope struct {
+	led   *ledger.Ledger
+	reg   *obs.Registry
+	start time.Time
+	rec   ledger.Record
+}
+
+// beginRun opens a scope for one execution of the given run mode, or nil
+// when neither a ledger nor a default registry is installed.
+func beginRun(kind string) *runScope {
+	led := runLedger.Load()
+	reg := obs.Default()
+	if led == nil && reg == nil {
+		return nil
+	}
+	reg.Counter("core.runs_started").Inc()
+	return &runScope{
+		led:   led,
+		reg:   reg,
+		start: time.Now(),
+		rec:   ledger.Record{Kind: kind, Engine: "activeset"},
+	}
+}
+
+// spec stamps the record with the content hash of the run's configuration
+// — the same hash the experiment cache addresses results by, so ledger
+// lines join against cache entries. Hashing only happens when a ledger
+// will actually store the record.
+func (s *runScope) spec(key any) {
+	if s == nil || s.led == nil {
+		return
+	}
+	if k, err := expcache.KeyFor(CacheSchemaVersion, s.rec.Kind, key); err == nil {
+		s.rec.Spec = k.Hash()
+	}
+}
+
+// cache records whether the experiment cache was consulted and whether it
+// served the result.
+func (s *runScope) cache(consulted, hit bool) {
+	if s == nil {
+		return
+	}
+	s.rec.Cached = consulted
+	s.rec.Hit = hit
+}
+
+// onEngine is installed as the run config's OnEngine hook; it captures the
+// stepped/fast-forwarded split. Never called on a cache hit (no engine
+// runs).
+func (s *runScope) onEngine(eo engine.Outcome) {
+	if s == nil {
+		return
+	}
+	s.rec.Stepped = eo.Stepped
+	s.rec.Skipped = eo.Skipped
+	s.rec.SkipRatio = eo.SkipRatio()
+}
+
+// faults copies a faulted run's injection/recovery counters; a nil Stats
+// (fault-free run) is a no-op.
+func (s *runScope) faults(fs *fault.Stats) {
+	if s == nil || fs == nil {
+		return
+	}
+	s.rec.FaultInjected = fs.CorruptInjected + fs.DropInjected
+	s.rec.FaultRetried = fs.Retried
+	s.rec.FaultDead = fs.Abandoned
+}
+
+// finish completes the record — wall time, simulated cycles, pipeline
+// throughput, worker-pool snapshot — and appends it to the ledger.
+func (s *runScope) finish(cycles int64, err error) {
+	if s == nil {
+		return
+	}
+	s.reg.Counter("core.runs_finished").Inc()
+	if s.led == nil {
+		return
+	}
+	wall := time.Since(s.start)
+	s.rec.Time = s.start.UTC().Format(time.RFC3339Nano)
+	s.rec.WallNS = wall.Nanoseconds()
+	s.rec.Cycles = cycles
+	if wall > 0 && cycles > 0 {
+		s.rec.CyclesPerSec = float64(cycles) / wall.Seconds()
+	}
+	s.rec.Workers = runtime.GOMAXPROCS(0)
+	if s.reg != nil {
+		s.rec.ParWaves = s.reg.Counter("par.waves").Value()
+		s.rec.ParTasks = s.reg.Counter("par.tasks_done").Value()
+	}
+	if err != nil {
+		s.rec.Err = err.Error()
+	}
+	s.led.Append(s.rec)
+}

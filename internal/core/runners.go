@@ -57,7 +57,18 @@ func OpenLoopObserved(p NetworkParams, rate float64, h Hooks) (*openloop.Result,
 	cfg.Rate = rate
 	cfg.Obs = h.Obs
 	cfg.Progress = h.Progress
-	return openloop.Run(cfg)
+	s := beginRun("openloop")
+	if s != nil {
+		cfg.OnEngine = s.onEngine
+	}
+	res, err := openloop.Run(cfg)
+	if res != nil {
+		s.faults(res.Faults)
+		s.finish(res.EndCycle, err)
+	} else {
+		s.finish(0, err)
+	}
+	return res, err
 }
 
 // openLoopConfig materializes the openloop configuration of p (without a
@@ -97,9 +108,22 @@ func openLoopCached(p NetworkParams, cfg openloop.Config) (*openloop.Result, err
 		Measure: defaulted(cfg.Measure, openloop.DefaultMeasure),
 		Drain:   defaulted(cfg.DrainLimit, openloop.DefaultDrainLimit),
 	}
-	return cached("openloop", key, func() (*openloop.Result, error) {
+	s := beginRun("openloop")
+	s.spec(key)
+	if s != nil {
+		cfg.OnEngine = s.onEngine
+	}
+	res, consulted, hit, err := cachedInfo("openloop", key, func() (*openloop.Result, error) {
 		return openloop.Run(cfg)
 	})
+	s.cache(consulted, hit)
+	if res != nil {
+		s.faults(res.Faults)
+		s.finish(res.EndCycle, err)
+	} else {
+		s.finish(0, err)
+	}
+	return res, err
 }
 
 // defaulted normalizes a zero "use the default" knob to its effective
@@ -177,8 +201,9 @@ func Batch(p NetworkParams, bp BatchParams) (*closedloop.BatchResult, error) {
 	if bp.M == 0 {
 		bp.M = 1
 	}
+	s := beginRun("batch")
 	run := func() (*closedloop.BatchResult, error) {
-		return closedloop.RunBatch(closedloop.BatchConfig{
+		cfg := closedloop.BatchConfig{
 			Net:      netCfg,
 			Pattern:  pat,
 			B:        bp.B,
@@ -189,19 +214,35 @@ func Batch(p NetworkParams, bp BatchParams) (*closedloop.BatchResult, error) {
 			Seed:     p.Seed,
 			Obs:      bp.Hooks.Obs,
 			Progress: bp.Hooks.Progress,
-		})
+		}
+		if s != nil {
+			cfg.OnEngine = s.onEngine
+		}
+		return closedloop.RunBatch(cfg)
+	}
+	record := func(res *closedloop.BatchResult, err error) (*closedloop.BatchResult, error) {
+		if res != nil {
+			s.faults(res.Faults)
+			s.finish(res.Runtime, err)
+		} else {
+			s.finish(0, err)
+		}
+		return res, err
 	}
 	// Observed runs bypass the cache: their side effects (metrics,
 	// telemetry, pf series) are the point.
 	if bp.Hooks != (Hooks{}) {
-		return run()
+		return record(run())
 	}
 	reply := ""
 	if bp.Reply != nil {
 		reply = bp.Reply.Name()
 	}
 	key := batchKey{Params: p, B: bp.B, M: bp.M, NAR: bp.NAR, Reply: reply, Kernel: bp.Kernel}
-	return cached("batch", key, run)
+	s.spec(key)
+	res, consulted, hit, err := cachedInfo("batch", key, run)
+	s.cache(consulted, hit)
+	return record(res, err)
 }
 
 // Barrier runs one closed-loop barrier-model measurement.
@@ -218,16 +259,31 @@ func Barrier(p NetworkParams, b, phases int) (*closedloop.BarrierResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	return cached("barrier", barrierKey{Params: p, B: b, Phases: phases}, func() (*closedloop.BarrierResult, error) {
-		return closedloop.RunBarrier(closedloop.BarrierConfig{
+	key := barrierKey{Params: p, B: b, Phases: phases}
+	s := beginRun("barrier")
+	s.spec(key)
+	res, consulted, hit, err := cachedInfo("barrier", key, func() (*closedloop.BarrierResult, error) {
+		cfg := closedloop.BarrierConfig{
 			Net:     netCfg,
 			Pattern: pat,
 			Sizes:   sizes,
 			B:       b,
 			Phases:  phases,
 			Seed:    p.Seed,
-		})
+		}
+		if s != nil {
+			cfg.OnEngine = s.onEngine
+		}
+		return closedloop.RunBarrier(cfg)
 	})
+	s.cache(consulted, hit)
+	if res != nil {
+		s.faults(res.Faults)
+		s.finish(res.Runtime, err)
+	} else {
+		s.finish(0, err)
+	}
+	return res, err
 }
 
 // ExecParams configure one execution-driven run.
@@ -259,9 +315,20 @@ func Exec(p NetworkParams, ep ExecParams) (*cmp.Result, error) {
 	if key.Exec.Seed == 0 {
 		key.Exec.Seed = p.Seed
 	}
-	return cached("exec", key, func() (*cmp.Result, error) {
+	s := beginRun("exec")
+	s.spec(key)
+	res, consulted, hit, err := cachedInfo("exec", key, func() (*cmp.Result, error) {
 		return execProfile(p, ep, prof)
 	})
+	s.cache(consulted, hit)
+	// The CMP system owns its own engine loop, so exec records carry no
+	// stepped/fast-forwarded split.
+	if res != nil {
+		s.finish(res.Cycles, err)
+	} else {
+		s.finish(0, err)
+	}
+	return res, err
 }
 
 func execProfile(p NetworkParams, ep ExecParams, prof workload.Profile) (*cmp.Result, error) {

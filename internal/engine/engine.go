@@ -110,20 +110,70 @@ type Config struct {
 	OnStall func(now int64)
 }
 
+// Outcome summarizes one engine run: where the clock ended, whether the
+// driver completed, and how the clock advance split between cycles that
+// were actually stepped and cycles the quiescence fast-forward jumped
+// over. The split feeds the run ledger's pipeline-throughput and
+// skip-ratio columns; it never affects simulation results.
+type Outcome struct {
+	End       int64
+	Completed bool
+	// Stepped counts cycles executed through Driver.Cycle + Network.Step;
+	// Skipped counts cycles the clock jumped without stepping them.
+	Stepped int64
+	Skipped int64
+}
+
+// SkipRatio returns Skipped/(Stepped+Skipped), 0 for an empty run.
+func (o Outcome) SkipRatio() float64 {
+	if total := o.Stepped + o.Skipped; total > 0 {
+		return float64(o.Skipped) / float64(total)
+	}
+	return 0
+}
+
+// metricsFlushEvery batches the engine's per-cycle counting into
+// occasional atomic adds on the process-wide registry, so the live
+// endpoint sees progress during long runs without an atomic per cycle.
+const metricsFlushEvery = 1 << 16
+
 // Run drives the network until the driver completes or the deadline
 // passes, returning the final cycle and whether the driver completed.
 func Run(cfg Config, d Driver) (end int64, completed bool) {
+	o := RunOutcome(cfg, d)
+	return o.End, o.Completed
+}
+
+// RunOutcome is Run with the full engine outcome, including the
+// stepped/fast-forwarded cycle split.
+func RunOutcome(cfg Config, d Driver) Outcome {
 	net := cfg.Net
 	ff, canSkip := net.(FastForwarder)
 	canSkip = canSkip && !cfg.FullScan
 	is, hasInternal := net.(InternalScheduler)
+	// Cross-run engine metrics live in the process-wide registry; with no
+	// default registry installed these are nil and the loop pays only the
+	// local increments. Counter lookup is get-or-create, so every run
+	// shares the same instruments.
+	reg := obs.Default()
+	cStepped := reg.Counter("engine.cycles_stepped")
+	cSkipped := reg.Counter("engine.cycles_fastforwarded")
+	reg.Counter("engine.runs").Inc()
+	var out Outcome
+	var unflushed int64
+	finish := func(completed bool) Outcome {
+		out.End = net.Now()
+		out.Completed = completed
+		cStepped.Add(unflushed)
+		return out
+	}
 	for {
 		now := net.Now()
 		if d.Done(now) {
-			return now, true
+			return finish(true)
 		}
 		if cfg.Deadline > 0 && now >= cfg.Deadline {
-			return now, false
+			return finish(false)
 		}
 		if d.Idle(now) && net.Quiescent() {
 			internal := NoEvent
@@ -139,17 +189,25 @@ func Run(cfg Config, d Driver) (end int64, completed bool) {
 				// may be idle-with-no-event yet still complete on a later
 				// Done(now) check.
 				cfg.OnStall(now)
-				return now, false
+				return finish(false)
 			}
 			if canSkip {
 				if next := wakeAt(cfg, ff, d, now, internal); next > now {
 					ff.SkipTo(next)
+					out.Skipped += next - now
+					cSkipped.Add(next - now)
+					cfg.Progress.Skip(next - now)
 					continue
 				}
 			}
 		}
 		d.Cycle(now)
 		net.Step()
+		out.Stepped++
+		if unflushed++; unflushed >= metricsFlushEvery {
+			cStepped.Add(unflushed)
+			unflushed = 0
+		}
 		if cfg.Progress != nil {
 			var h int64
 			if cfg.Horizon != nil {

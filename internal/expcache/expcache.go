@@ -30,6 +30,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"unicode/utf8"
+
+	"noceval/internal/obs"
 )
 
 // Cache is one on-disk result store. All methods are safe for concurrent
@@ -42,6 +44,29 @@ type Cache struct {
 	misses atomic.Int64
 	puts   atomic.Int64
 	drops  atomic.Int64
+
+	// Cross-run metrics, nil until SetMetrics: obs instruments are nil-safe,
+	// so the uninstrumented cache pays only nil checks.
+	mHits         *obs.Counter
+	mMisses       *obs.Counter
+	mPuts         *obs.Counter
+	mDrops        *obs.Counter
+	mBytesRead    *obs.Counter
+	mBytesWritten *obs.Counter
+}
+
+// SetMetrics publishes the cache's traffic counters into reg under the
+// expcache.* names (hits, misses, puts, corruption_drops, bytes_read,
+// bytes_written). A nil registry detaches the instruments. Call before
+// sharing the cache across goroutines; the local Stats counters are
+// unaffected.
+func (c *Cache) SetMetrics(reg *obs.Registry) {
+	c.mHits = reg.Counter("expcache.hits")
+	c.mMisses = reg.Counter("expcache.misses")
+	c.mPuts = reg.Counter("expcache.puts")
+	c.mDrops = reg.Counter("expcache.corruption_drops")
+	c.mBytesRead = reg.Counter("expcache.bytes_read")
+	c.mBytesWritten = reg.Counter("expcache.bytes_written")
 }
 
 // Open returns a cache rooted at dir (created if missing), salted with the
@@ -81,6 +106,13 @@ func (k Key) Hash() string { return k.hash }
 // JSON-marshalable with deterministic field order (plain structs, no
 // unordered custom marshalers).
 func (c *Cache) Key(kind string, cfg any) (Key, error) {
+	return KeyFor(c.salt, kind, cfg)
+}
+
+// KeyFor derives a content address without a cache: the run ledger uses it
+// to stamp records with the same spec hash the cache would use, whether or
+// not caching is enabled.
+func KeyFor(salt, kind string, cfg any) (Key, error) {
 	// The kind names an on-disk directory and is verified against the
 	// stored entry on Get, so it must survive both the filesystem and a
 	// JSON round trip unchanged.
@@ -96,7 +128,7 @@ func (c *Cache) Key(kind string, cfg any) (Key, error) {
 	h := sha256.New()
 	// Length-prefix the variable parts so (salt="a", kind="bc") cannot
 	// collide with (salt="ab", kind="c").
-	fmt.Fprintf(h, "%d:%s%d:%s", len(c.salt), c.salt, len(kind), kind)
+	fmt.Fprintf(h, "%d:%s%d:%s", len(salt), salt, len(kind), kind)
 	h.Write(desc)
 	return Key{kind: kind, hash: hex.EncodeToString(h.Sum(nil)), desc: desc}, nil
 }
@@ -125,8 +157,10 @@ func (c *Cache) Get(k Key, out any) bool {
 	data, err := os.ReadFile(p)
 	if err != nil {
 		c.misses.Add(1)
+		c.mMisses.Inc()
 		return false
 	}
+	c.mBytesRead.Add(int64(len(data)))
 	var e entry
 	if err := json.Unmarshal(data, &e); err != nil ||
 		e.Salt != c.salt || e.Kind != k.kind || !bytes.Equal(e.Config, k.desc) {
@@ -138,6 +172,7 @@ func (c *Cache) Get(k Key, out any) bool {
 		return false
 	}
 	c.hits.Add(1)
+	c.mHits.Inc()
 	return true
 }
 
@@ -146,6 +181,8 @@ func (c *Cache) drop(p string) {
 	os.Remove(p)
 	c.drops.Add(1)
 	c.misses.Add(1)
+	c.mDrops.Inc()
+	c.mMisses.Inc()
 }
 
 // Put stores result under k. The write is atomic (temp file + rename), so
@@ -182,6 +219,8 @@ func (c *Cache) Put(k Key, result any) error {
 		return fmt.Errorf("expcache: %w", err)
 	}
 	c.puts.Add(1)
+	c.mPuts.Inc()
+	c.mBytesWritten.Add(int64(len(data)))
 	return nil
 }
 

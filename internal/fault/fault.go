@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"noceval/internal/obs"
 	"noceval/internal/sim"
 	"noceval/internal/topology"
 )
@@ -173,6 +174,11 @@ type Injector struct {
 
 	corruptInjected int64
 	dropInjected    int64
+
+	// mInjections publishes fired injections into the process-wide
+	// registry; nil (a pure nil check per fired fault) when none is
+	// installed at construction time.
+	mInjections *obs.Counter
 }
 
 // NewInjector builds the injector for a network with the given node count.
@@ -180,6 +186,7 @@ type Injector struct {
 // mix of the network seed).
 func NewInjector(p Params, seed uint64) *Injector {
 	in := &Injector{p: p, rng: sim.NewRNG(seed)}
+	in.mInjections = obs.Default().Counter("fault.injections")
 	for _, o := range p.Outages {
 		in.bounds = append(in.bounds, o.From, o.Until)
 	}
@@ -219,6 +226,7 @@ func (in *Injector) DrawDrop() bool {
 	}
 	if in.rng.Bernoulli(in.p.DropRate) {
 		in.dropInjected++
+		in.mInjections.Inc()
 		return true
 	}
 	return false
@@ -231,6 +239,7 @@ func (in *Injector) DrawCorrupt() bool {
 	}
 	if in.rng.Bernoulli(in.p.CorruptRate) {
 		in.corruptInjected++
+		in.mInjections.Inc()
 		return true
 	}
 	return false

@@ -1,6 +1,9 @@
 package fault
 
-import "noceval/internal/router"
+import (
+	"noceval/internal/obs"
+	"noceval/internal/router"
+)
 
 // NICConfig parameterizes the recovery NIC shared by all terminals.
 type NICConfig struct {
@@ -62,6 +65,11 @@ type NIC struct {
 
 	tracked, acked, retried, abandoned, dup int64
 
+	// Cross-run counters from the process-wide registry; nil when no
+	// default registry is installed at construction time.
+	mRetransmits *obs.Counter
+	mDeadDrops   *obs.Counter
+
 	// broken, set by BreakForTest, makes timeouts silently drop their
 	// transaction — the deliberate retransmit bug the invariant harness's
 	// mutation test must catch.
@@ -77,11 +85,14 @@ func NewNIC(cfg NICConfig) *NIC {
 	if cfg.Resend == nil {
 		panic("fault: NIC requires a Resend callback")
 	}
+	reg := obs.Default()
 	return &NIC{
-		cfg:      cfg,
-		entries:  make(map[uint64]*entry),
-		pending:  make([][]uint64, cfg.Nodes),
-		retrying: make([]int, cfg.Nodes),
+		cfg:          cfg,
+		entries:      make(map[uint64]*entry),
+		pending:      make([][]uint64, cfg.Nodes),
+		retrying:     make([]int, cfg.Nodes),
+		mRetransmits: reg.Counter("fault.retransmits"),
+		mDeadDrops:   reg.Counter("fault.dead_drops"),
 	}
 }
 
@@ -157,11 +168,13 @@ func (c *NIC) retry(now int64, txn uint64, e *entry) {
 	e.deadline = now + c.cfg.Timeout<<shift
 	c.push(tmo{at: e.deadline, txn: txn})
 	c.retried++
+	c.mRetransmits.Inc()
 }
 
 func (c *NIC) abandon(now int64, txn uint64, e *entry) {
 	delete(c.entries, txn)
 	c.abandoned++
+	c.mDeadDrops.Inc()
 	node := e.pkt.Src
 	if e.attempts > 0 {
 		c.retrying[node]--

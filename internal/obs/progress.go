@@ -12,6 +12,13 @@ import (
 // ways: the wall clock is consulted only every checkEvery cycles (so Tick
 // is cheap enough for per-cycle call sites), and a line is printed at most
 // once per interval.
+//
+// Runs that fast-forward over idle stretches (internal/engine) report the
+// skipped cycles through Skip, and the heartbeat separates the two: the
+// cycles/sec figure counts only cycles that were actually stepped, with
+// the fast-forwarded cycles and their share of the clock advance printed
+// alongside. Without the split a single long skip would inflate the rate
+// by orders of magnitude and wreck the ETA.
 type Progress struct {
 	w          io.Writer
 	interval   time.Duration
@@ -22,6 +29,11 @@ type Progress struct {
 	lastCheck int64
 	lastCycle int64
 	lines     int
+
+	// skipped counts fast-forwarded cycles since the last printed line;
+	// skippedTotal counts them since the start of the run.
+	skipped      int64
+	skippedTotal int64
 }
 
 // NewProgress returns a heartbeat writer that prints to w at most once per
@@ -32,6 +44,27 @@ func NewProgress(w io.Writer, interval time.Duration) *Progress {
 	}
 	now := time.Now()
 	return &Progress{w: w, interval: interval, checkEvery: 10_000, start: now, lastPrint: now}
+}
+
+// Skip reports that the clock jumped d cycles without stepping them (the
+// engine's quiescence fast-forward). Skipped cycles are excluded from the
+// heartbeat's cycles/sec and reported separately. A nil Progress is a
+// no-op.
+func (p *Progress) Skip(d int64) {
+	if p == nil || d <= 0 {
+		return
+	}
+	p.skipped += d
+	p.skippedTotal += d
+}
+
+// SkippedTotal returns the number of fast-forwarded cycles reported so
+// far, 0 for a nil Progress.
+func (p *Progress) SkippedTotal() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.skippedTotal
 }
 
 // Tick reports that the simulation reached the given cycle; total is the
@@ -50,17 +83,30 @@ func (p *Progress) Tick(cycle, total int64) {
 	if since < p.interval {
 		return
 	}
-	rate := float64(cycle-p.lastCycle) / since.Seconds()
-	p.lastPrint, p.lastCycle = now, cycle
+	stepped := cycle - p.lastCycle - p.skipped
+	if stepped < 0 {
+		stepped = 0
+	}
+	rate := float64(stepped) / since.Seconds()
+	// The ETA must use the clock's true advance rate (stepped + skipped):
+	// the remaining cycles will fast-forward in the same proportion.
+	clockRate := float64(cycle-p.lastCycle) / since.Seconds()
+	skipped := p.skipped
+	p.lastPrint, p.lastCycle, p.skipped = now, cycle, 0
 	p.lines++
-	if total > cycle && rate > 0 {
-		remaining := time.Duration(float64(total-cycle) / rate * float64(time.Second))
-		fmt.Fprintf(p.w, "progress: cycle %d/%d (%.1f%%), %.3g cycles/s, ETA %s\n",
-			cycle, total, 100*float64(cycle)/float64(total), rate, remaining.Round(time.Second))
+	ff := ""
+	if skipped > 0 {
+		ff = fmt.Sprintf(" (+%d fast-forwarded, %.0f%% skipped)",
+			skipped, 100*float64(skipped)/float64(stepped+skipped))
+	}
+	if total > cycle && clockRate > 0 {
+		remaining := time.Duration(float64(total-cycle) / clockRate * float64(time.Second))
+		fmt.Fprintf(p.w, "progress: cycle %d/%d (%.1f%%), %.3g cycles/s%s, ETA %s\n",
+			cycle, total, 100*float64(cycle)/float64(total), rate, ff, remaining.Round(time.Second))
 		return
 	}
-	fmt.Fprintf(p.w, "progress: cycle %d, %.3g cycles/s, elapsed %s\n",
-		cycle, rate, now.Sub(p.start).Round(time.Second))
+	fmt.Fprintf(p.w, "progress: cycle %d, %.3g cycles/s%s, elapsed %s\n",
+		cycle, rate, ff, now.Sub(p.start).Round(time.Second))
 }
 
 // Note prints a one-off annotation line (e.g. "drain aborted at
@@ -82,7 +128,16 @@ func (p *Progress) Done(cycle int64) {
 		return
 	}
 	elapsed := time.Since(p.start)
-	rate := float64(cycle) / elapsed.Seconds()
+	stepped := cycle - p.skippedTotal
+	if stepped < 0 {
+		stepped = 0
+	}
+	rate := float64(stepped) / elapsed.Seconds()
+	if p.skippedTotal > 0 {
+		fmt.Fprintf(p.w, "progress: finished at cycle %d in %s (%.3g cycles/s, %d fast-forwarded)\n",
+			cycle, elapsed.Round(time.Millisecond), rate, p.skippedTotal)
+		return
+	}
 	fmt.Fprintf(p.w, "progress: finished at cycle %d in %s (%.3g cycles/s)\n",
 		cycle, elapsed.Round(time.Millisecond), rate)
 }

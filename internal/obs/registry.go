@@ -8,32 +8,46 @@
 // into a no-op, so instrumented code pays only a nil check when
 // observability is disabled and the per-cycle hot path stays allocation
 // free (guarded by the benchmark in the repository root).
+//
+// Registries come in two flavours sharing one type: the per-run registry
+// an Observer carries (one simulation's metrics), and the process-wide
+// default registry (SetDefault/Default) that cross-run subsystems — the
+// experiment cache, the worker pool, the cycle engine, the fault injector
+// — publish into, and that the live export endpoint (internal/obs/export)
+// serves. Because the default registry is read by an HTTP handler while
+// simulations write it from worker goroutines, every instrument is safe
+// for concurrent use: counters and gauges are atomics, histograms take a
+// small mutex per observation.
 package obs
 
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing int64 metric.
+// Counter is a monotonically increasing int64 metric, safe for concurrent
+// use.
 type Counter struct {
 	name string
-	v    int64
+	v    atomic.Int64
 }
 
 // Inc adds one to the counter. A nil counter is a no-op.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v++
+		c.v.Add(1)
 	}
 }
 
 // Add adds d to the counter. A nil counter is a no-op.
 func (c *Counter) Add(d int64) {
 	if c != nil {
-		c.v += d
+		c.v.Add(d)
 	}
 }
 
@@ -42,20 +56,19 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
-// Gauge is a last-value-wins float64 metric.
+// Gauge is a last-value-wins float64 metric, safe for concurrent use.
 type Gauge struct {
 	name string
-	v    float64
-	set  bool
+	bits atomic.Uint64
 }
 
 // Set records the gauge's current value. A nil gauge is a no-op.
 func (g *Gauge) Set(v float64) {
 	if g != nil {
-		g.v, g.set = v, true
+		g.bits.Store(math.Float64bits(v))
 	}
 }
 
@@ -64,15 +77,18 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Histogram is a fixed-bin histogram over [lo, hi) with underflow and
 // overflow captured in the edge bins. Reset supports windowed use: callers
-// snapshot and clear it once per sample window.
+// snapshot and clear it once per sample window. Observations take a mutex,
+// so a histogram shared with the live exporter never tears.
 type Histogram struct {
-	name     string
-	lo, hi   float64
+	name   string
+	lo, hi float64
+
+	mu       sync.Mutex
 	bins     []int64
 	count    int64
 	sum      float64
@@ -84,6 +100,7 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.mu.Lock()
 	if h.count == 0 || v < h.min {
 		h.min = v
 	}
@@ -100,6 +117,7 @@ func (h *Histogram) Observe(v float64) {
 		i = len(h.bins) - 1
 	}
 	h.bins[i]++
+	h.mu.Unlock()
 }
 
 // Count returns the number of observations, 0 for a nil histogram.
@@ -107,12 +125,19 @@ func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.count
 }
 
 // Mean returns the mean of the observations, 0 when empty or nil.
 func (h *Histogram) Mean() float64 {
-	if h == nil || h.count == 0 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
 		return 0
 	}
 	return h.sum / float64(h.count)
@@ -124,52 +149,89 @@ func (h *Histogram) Reset() {
 	if h == nil {
 		return
 	}
+	h.mu.Lock()
 	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
 	for i := range h.bins {
 		h.bins[i] = 0
 	}
+	h.mu.Unlock()
 }
 
-// Registry holds the metrics of one run. Components create their
+// Registry holds a set of named metrics. Components create their
 // instruments through the registry; a nil registry hands back nil
 // instruments, which keeps every recording site a nil check away from
-// free.
+// free. Instrument creation is get-or-create: asking for a name that
+// already exists returns the existing instrument, so long-lived registries
+// (the process-wide default) stay bounded however many runs publish into
+// them.
 type Registry struct {
+	mu       sync.Mutex
 	counters []*Counter
 	gauges   []*Gauge
 	hists    []*Histogram
+	byName   map[string]any
 }
 
 // NewRegistry returns an empty metrics registry.
 func NewRegistry() *Registry { return &Registry{} }
 
-// Counter registers and returns a named counter. On a nil registry it
-// returns nil, which all Counter methods tolerate.
+// lookup returns the instrument already registered under name, if any.
+// Callers hold r.mu.
+func (r *Registry) lookup(name string) any {
+	if r.byName == nil {
+		r.byName = make(map[string]any)
+		return nil
+	}
+	return r.byName[name]
+}
+
+// Counter registers and returns a named counter, or the existing one when
+// the name is taken. On a nil registry it returns nil, which all Counter
+// methods tolerate.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.lookup(name).(*Counter); ok {
+		return c
+	}
 	c := &Counter{name: name}
 	r.counters = append(r.counters, c)
+	r.byName[name] = c
 	return c
 }
 
-// Gauge registers and returns a named gauge, or nil on a nil registry.
+// Gauge registers and returns a named gauge (or the existing one), or nil
+// on a nil registry.
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.lookup(name).(*Gauge); ok {
+		return g
+	}
 	g := &Gauge{name: name}
 	r.gauges = append(r.gauges, g)
+	r.byName[name] = g
 	return g
 }
 
-// Histogram registers a histogram with the given bin count over [lo, hi),
-// or nil on a nil registry. Degenerate ranges and bin counts are widened
-// to something usable rather than rejected.
+// Histogram registers a histogram with the given bin count over [lo, hi)
+// (or returns the existing histogram of that name), or nil on a nil
+// registry. Degenerate ranges and bin counts are widened to something
+// usable rather than rejected.
 func (r *Registry) Histogram(name string, lo, hi float64, bins int) *Histogram {
 	if r == nil {
 		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.lookup(name).(*Histogram); ok {
+		return h
 	}
 	if bins < 1 {
 		bins = 1
@@ -179,6 +241,7 @@ func (r *Registry) Histogram(name string, lo, hi float64, bins int) *Histogram {
 	}
 	h := &Histogram{name: name, lo: lo, hi: hi, bins: make([]int64, bins)}
 	r.hists = append(r.hists, h)
+	r.byName[name] = h
 	return h
 }
 
@@ -195,21 +258,32 @@ type MetricPoint struct {
 
 // Snapshot returns every metric's current value, sorted by name (stable
 // across runs, so exports diff cleanly). Histograms export their mean as
-// Value plus count/min/max.
+// Value plus count/min/max. Safe to call while instruments are being
+// written.
 func (r *Registry) Snapshot() []MetricPoint {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	counters := append([]*Counter(nil), r.counters...)
+	gauges := append([]*Gauge(nil), r.gauges...)
+	hists := append([]*Histogram(nil), r.hists...)
+	r.mu.Unlock()
 	var out []MetricPoint
-	for _, c := range r.counters {
-		out = append(out, MetricPoint{Name: c.name, Kind: "counter", Value: float64(c.v)})
+	for _, c := range counters {
+		out = append(out, MetricPoint{Name: c.name, Kind: "counter", Value: float64(c.Value())})
 	}
-	for _, g := range r.gauges {
-		out = append(out, MetricPoint{Name: g.name, Kind: "gauge", Value: g.v})
+	for _, g := range gauges {
+		out = append(out, MetricPoint{Name: g.name, Kind: "gauge", Value: g.Value()})
 	}
-	for _, h := range r.hists {
-		out = append(out, MetricPoint{Name: h.name, Kind: "histogram",
-			Value: h.Mean(), Count: h.count, Min: h.min, Max: h.max})
+	for _, h := range hists {
+		h.mu.Lock()
+		p := MetricPoint{Name: h.name, Kind: "histogram", Count: h.count, Min: h.min, Max: h.max}
+		if h.count > 0 {
+			p.Value = h.sum / float64(h.count)
+		}
+		h.mu.Unlock()
+		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -243,3 +317,17 @@ func (r *Registry) CSV() string {
 	}
 	return b.String()
 }
+
+// defaultReg is the process-wide registry, nil (disabled) by default.
+var defaultReg atomic.Pointer[Registry]
+
+// SetDefault installs the process-wide default registry that cross-run
+// subsystems (experiment cache, worker pool, cycle engine, fault layer)
+// publish their counters into. Passing nil disables them again; every
+// publishing site then holds nil instruments and the hot paths pay only a
+// nil check.
+func SetDefault(r *Registry) { defaultReg.Store(r) }
+
+// Default returns the process-wide registry, or nil when cross-run
+// metrics are disabled (the default).
+func Default() *Registry { return defaultReg.Load() }

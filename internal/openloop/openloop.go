@@ -61,6 +61,11 @@ type Config struct {
 	// finishes and before Run returns — the invariant harness hooks here to
 	// check conservation on the final state.
 	Inspect func(*network.Network)
+
+	// OnEngine, when non-nil, receives the engine outcome (stepped vs
+	// fast-forwarded cycle split) after the run finishes. The run ledger
+	// hooks here; the outcome never feeds back into results.
+	OnEngine func(engine.Outcome)
 }
 
 // Default phase lengths applied when the corresponding Config fields are
@@ -113,6 +118,10 @@ type Result struct {
 	Accepted float64
 
 	MeasuredPackets int
+	// EndCycle is the simulated cycle at which the run finished (warmup +
+	// measurement + drain). It is identical across engine paths — the
+	// fast-forward is exact — and gives the run ledger its cycle count.
+	EndCycle int64 `json:",omitempty"`
 	// LostPackets counts measured packets abandoned by the recovery NIC
 	// after exhausting retries (always 0 without fault injection).
 	LostPackets int `json:",omitempty"`
@@ -270,7 +279,7 @@ func Run(cfg Config) (*Result, error) {
 	if b, ok := proc.(traffic.Bernoulli); ok {
 		d.bernProb = b.Rate / b.Sizes.Mean()
 	}
-	_, stable := engine.Run(engine.Config{
+	eo := engine.RunOutcome(engine.Config{
 		Net:      net,
 		Deadline: drainFrom + cfg.DrainLimit,
 		Progress: cfg.Progress,
@@ -285,6 +294,10 @@ func Run(cfg Config) (*Result, error) {
 		},
 		FullScan: cfg.FullScan,
 	}, d)
+	stable := eo.Completed
+	if cfg.OnEngine != nil {
+		cfg.OnEngine(eo)
+	}
 	if !stable {
 		cfg.Progress.Note(net.Now(), "drain aborted at DrainLimit (%d cycles) with %d tagged packets outstanding",
 			cfg.DrainLimit, outstanding)
@@ -295,6 +308,7 @@ func Run(cfg Config) (*Result, error) {
 		Rate:            cfg.Rate,
 		Stable:          stable,
 		MeasuredPackets: len(latencies),
+		EndCycle:        net.Now(),
 		PerNodeAvg:      make([]float64, n),
 	}
 	if len(latencies) > 0 {

@@ -9,6 +9,10 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"noceval/internal/obs"
 )
 
 // Parallel runs n independent task closures across worker goroutines and
@@ -36,6 +40,19 @@ func Parallel(n, workers int, task func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	// Pool metrics publish into the process-wide registry when one is
+	// installed; with none, every instrument is nil and the pool pays only
+	// nil checks (no time.Now calls, no atomics beyond the queue itself).
+	reg := obs.Default()
+	cTasksDone := reg.Counter("par.tasks_done")
+	cBusyNS := reg.Counter("par.busy_ns")
+	if reg != nil {
+		reg.Counter("par.waves").Inc()
+		reg.Counter("par.tasks").Add(int64(n))
+		reg.Gauge("par.workers").Set(float64(workers))
+	}
+	var queued atomic.Int64
+	gQueue := reg.Gauge("par.queue_depth")
 	var (
 		wg         sync.WaitGroup
 		mu         sync.Mutex
@@ -66,15 +83,25 @@ func Parallel(n, workers int, task func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				gQueue.Set(float64(queued.Add(-1)))
+				if cBusyNS == nil {
+					run(i)
+					continue
+				}
+				start := time.Now()
 				run(i)
+				cBusyNS.Add(time.Since(start).Nanoseconds())
+				cTasksDone.Inc()
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
+		gQueue.Set(float64(queued.Add(1)))
 		next <- i
 	}
 	close(next)
 	wg.Wait()
+	gQueue.Set(0)
 	if firstPanic != nil {
 		panic(firstPanic)
 	}

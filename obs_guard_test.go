@@ -3,14 +3,19 @@ package noceval
 // Guards for the observability layer's disabled path: with no observer
 // attached, the per-cycle hot path (Network.Step and everything under it)
 // must not allocate at all, and the enabled/disabled benchmark pair makes
-// any cycles/sec regression visible from `go test -bench Step`.
+// any cycles/sec regression visible from `go test -bench Step`. The same
+// contract covers the cross-run layer: with no process-wide registry
+// installed and no ledger enabled, the engine loop, the nil instruments,
+// and the nil ledger must all stay allocation-free.
 
 import (
 	"testing"
 
 	"noceval/internal/core"
+	"noceval/internal/engine"
 	"noceval/internal/network"
 	"noceval/internal/obs"
+	"noceval/internal/obs/ledger"
 	"noceval/internal/router"
 )
 
@@ -61,6 +66,55 @@ func TestObsDisabledStepZeroAllocs(t *testing.T) {
 	if flits, _, _, _ := net.Stats(); flits == 0 {
 		t.Fatal("network was idle during the measurement")
 	}
+}
+
+// stepDriver is a minimal engine driver that steps forever (the guard
+// stops the engine via Deadline).
+type stepDriver struct{}
+
+func (stepDriver) Cycle(int64)           {}
+func (stepDriver) Done(int64) bool       { return false }
+func (stepDriver) Idle(int64) bool       { return false }
+func (stepDriver) NextEvent(int64) int64 { return engine.NoEvent }
+
+// TestCrossRunObsDisabledZeroAllocs pins the disabled path of the
+// cross-run observability added for the run ledger and live export: with
+// no default registry installed, nil counters/gauges, a nil ledger, and
+// the engine loop's per-cycle metric accounting must not allocate.
+func TestCrossRunObsDisabledZeroAllocs(t *testing.T) {
+	if obs.Default() != nil {
+		t.Fatal("a default registry is installed; the disabled path is not under test")
+	}
+
+	t.Run("nil instruments", func(t *testing.T) {
+		reg := obs.Default() // nil
+		c := reg.Counter("engine.cycles_stepped")
+		g := reg.Gauge("par.queue_depth")
+		var l *ledger.Ledger
+		var p *obs.Progress
+		allocs := testing.AllocsPerRun(200, func() {
+			c.Inc()
+			c.Add(17)
+			g.Set(3.5)
+			p.Skip(100)
+			l.Append(ledger.Record{Kind: "openloop"})
+		})
+		if allocs != 0 {
+			t.Errorf("disabled instruments allocate %.2f allocs/op, want 0", allocs)
+		}
+	})
+
+	t.Run("engine loop", func(t *testing.T) {
+		net := loadedNetwork(t, nil, 400, 500)
+		var now int64 = 1 << 20 // beyond the warmed-up clock
+		allocs := testing.AllocsPerRun(50, func() {
+			now += 8
+			engine.RunOutcome(engine.Config{Net: net, Deadline: now}, stepDriver{})
+		})
+		if allocs != 0 {
+			t.Errorf("disabled-path engine loop allocates %.2f allocs/op, want 0", allocs)
+		}
+	})
 }
 
 // benchSteps measures steady-state Step throughput, periodically refilling
