@@ -7,6 +7,7 @@ package noceval
 // visible from `go test -bench`).
 
 import (
+	"fmt"
 	"testing"
 
 	"noceval/internal/closedloop"
@@ -557,4 +558,50 @@ func benchIdleBatchTail(b *testing.B, fullScan bool) {
 func BenchmarkIdleBatchTail(b *testing.B) {
 	b.Run("engine=fullscan", func(b *testing.B) { benchIdleBatchTail(b, true) })
 	b.Run("engine=activeset", func(b *testing.B) { benchIdleBatchTail(b, false) })
+}
+
+// benchShardScaling runs a heavily loaded 16x16 mesh open-loop measurement
+// with the network split into the given number of spatial tiles. The rate
+// sits just under the uniform-traffic saturation point (~0.25 flits/node/
+// cycle for a 16x16 mesh), so every router has work each cycle but the
+// drain phase still terminates. Every shard count produces bit-identical
+// results (see internal/network/shard_test.go); this benchmark measures
+// only the wall-clock effect of stepping tiles in parallel.
+func benchShardScaling(b *testing.B, shards int) {
+	b.Helper()
+	p := core.Baseline()
+	p.Topology = "mesh16x16"
+	p.Shards = shards
+	cfg, err := p.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat, _ := p.BuildPattern()
+	sizes, _ := p.BuildSizes()
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := openloop.Run(openloop.Config{
+			Net: cfg, Pattern: pat, Sizes: sizes, Rate: 0.20,
+			Warmup: 500, Measure: 2000, DrainLimit: 20000, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += 2500
+		_ = res
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkShardScaling measures the sharded stepping loop on a loaded
+// 16x16 mesh across shard counts. shards=1 is the sequential loop;
+// higher counts step row-aligned tiles concurrently under a per-cycle
+// barrier. Useful speedup needs GOMAXPROCS >= shards.
+func BenchmarkShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchShardScaling(b, shards)
+		})
+	}
 }

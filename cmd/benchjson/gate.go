@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Regression is one benchmark's current-vs-baseline comparison.
+type Regression struct {
+	Name     string
+	Base     float64 // baseline ns/op (min across runs when recorded)
+	Current  float64 // current ns/op (min across runs when recorded)
+	Delta    float64 // (Current-Base)/Base
+	Exceeded bool    // Delta above the tolerance
+}
+
+// gateNs is the statistic the gate compares: the fastest run when the
+// input recorded one, else the mean (baselines written before min
+// tracking). Min-of-N is deliberate — scheduler and co-tenant
+// interference only ever adds time, so on a shared host the min tracks
+// the code while the mean tracks the neighbours.
+func gateNs(r Result) float64 {
+	if r.MinNsPerOp > 0 {
+		return r.MinNsPerOp
+	}
+	return r.NsPerOp
+}
+
+// gate compares current results against a committed baseline: every
+// benchmark present in both is checked for an ns/op regression beyond
+// tol (a fraction, e.g. 0.15 = +15%), comparing min-of-runs (see
+// gateNs). Benchmarks that exist only on one side are reported but
+// never fail the gate — adding or retiring a benchmark must not
+// require a baseline update in the same commit. Returns the
+// per-benchmark comparisons (sorted worst-first) and the names present
+// in only one input.
+func gate(current, baseline []Result, tol float64) (regs []Regression, onlyBase, onlyCur []string) {
+	cur := make(map[string]Result, len(current))
+	for _, r := range current {
+		cur[r.Name] = r
+	}
+	seen := make(map[string]bool, len(baseline))
+	for _, b := range baseline {
+		seen[b.Name] = true
+		c, ok := cur[b.Name]
+		if !ok {
+			onlyBase = append(onlyBase, b.Name)
+			continue
+		}
+		bns, cns := gateNs(b), gateNs(c)
+		if bns <= 0 {
+			continue
+		}
+		delta := (cns - bns) / bns
+		regs = append(regs, Regression{
+			Name:     b.Name,
+			Base:     bns,
+			Current:  cns,
+			Delta:    delta,
+			Exceeded: delta > tol,
+		})
+	}
+	for _, r := range current {
+		if !seen[r.Name] {
+			onlyCur = append(onlyCur, r.Name)
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Delta > regs[j].Delta })
+	sort.Strings(onlyBase)
+	sort.Strings(onlyCur)
+	return regs, onlyBase, onlyCur
+}
+
+// runGate loads the baseline, compares, prints the report to stderr, and
+// reports whether any benchmark regressed beyond the tolerance.
+func runGate(current []Result, baselinePath string, tol float64) (failed bool, err error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	var baseline []Result
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return false, fmt.Errorf("benchjson: baseline %s: %w", baselinePath, err)
+	}
+	regs, onlyBase, onlyCur := gate(current, baseline, tol)
+	for _, r := range regs {
+		status := "ok  "
+		if r.Exceeded {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "%s %-60s %12.0f -> %12.0f ns/op  %+6.1f%% (tolerance %+.0f%%)\n",
+			status, r.Name, r.Base, r.Current, r.Delta*100, tol*100)
+	}
+	for _, name := range onlyBase {
+		fmt.Fprintf(os.Stderr, "note: %s is in the baseline but was not run\n", name)
+	}
+	for _, name := range onlyCur {
+		fmt.Fprintf(os.Stderr, "note: %s has no baseline entry (new benchmark?)\n", name)
+	}
+	return failed, nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGate(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 2000},
+		{Name: "BenchmarkRetired", NsPerOp: 500},
+	}
+	current := []Result{
+		{Name: "BenchmarkA", NsPerOp: 1100}, // +10%: within a 15% tolerance
+		{Name: "BenchmarkB", NsPerOp: 2500}, // +25%: regression
+		{Name: "BenchmarkNew", NsPerOp: 42},
+	}
+	regs, onlyBase, onlyCur := gate(current, baseline, 0.15)
+	if len(regs) != 2 {
+		t.Fatalf("got %d comparisons, want 2: %+v", len(regs), regs)
+	}
+	// Sorted worst-first: B's +25% leads.
+	if regs[0].Name != "BenchmarkB" || !regs[0].Exceeded {
+		t.Errorf("worst regression = %+v, want BenchmarkB exceeded", regs[0])
+	}
+	if regs[1].Name != "BenchmarkA" || regs[1].Exceeded {
+		t.Errorf("BenchmarkA = %+v, want within tolerance", regs[1])
+	}
+	if !reflect.DeepEqual(onlyBase, []string{"BenchmarkRetired"}) {
+		t.Errorf("onlyBase = %v", onlyBase)
+	}
+	if !reflect.DeepEqual(onlyCur, []string{"BenchmarkNew"}) {
+		t.Errorf("onlyCur = %v", onlyCur)
+	}
+}
+
+// TestGateComparesMinOfRuns: when min ns/op was recorded the gate must
+// compare mins, not means — a noisy-mean run whose best iteration still
+// matches the baseline is not a regression — and fall back to the mean
+// against baselines written before min tracking.
+func TestGateComparesMinOfRuns(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkNoisy", NsPerOp: 1200, MinNsPerOp: 1000},
+		{Name: "BenchmarkLegacy", NsPerOp: 1000}, // pre-min baseline entry
+	}
+	current := []Result{
+		// Mean +150% (co-tenant noise) but the best run only +5%: pass.
+		{Name: "BenchmarkNoisy", NsPerOp: 3000, MinNsPerOp: 1050},
+		// Legacy comparison uses the means: +25% fails at 15%.
+		{Name: "BenchmarkLegacy", NsPerOp: 1250, MinNsPerOp: 1250},
+	}
+	regs, _, _ := gate(current, baseline, 0.15)
+	if len(regs) != 2 {
+		t.Fatalf("got %d comparisons, want 2: %+v", len(regs), regs)
+	}
+	byName := map[string]Regression{}
+	for _, r := range regs {
+		byName[r.Name] = r
+	}
+	if r := byName["BenchmarkNoisy"]; r.Exceeded || r.Base != 1000 || r.Current != 1050 {
+		t.Errorf("BenchmarkNoisy = %+v, want min-vs-min 1000->1050 within tolerance", r)
+	}
+	if r := byName["BenchmarkLegacy"]; !r.Exceeded || r.Base != 1000 {
+		t.Errorf("BenchmarkLegacy = %+v, want mean fallback 1000->1250 exceeded", r)
+	}
+}
+
+func TestGateImprovementAndExactMatch(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkFast", NsPerOp: 1000},
+		{Name: "BenchmarkSame", NsPerOp: 300},
+		{Name: "BenchmarkZero", NsPerOp: 0}, // degenerate baseline: never compared
+	}
+	current := []Result{
+		{Name: "BenchmarkFast", NsPerOp: 500}, // 2x improvement
+		{Name: "BenchmarkSame", NsPerOp: 300},
+		{Name: "BenchmarkZero", NsPerOp: 100},
+	}
+	regs, _, _ := gate(current, baseline, 0.15)
+	if len(regs) != 2 {
+		t.Fatalf("got %d comparisons, want 2 (zero baseline skipped): %+v", len(regs), regs)
+	}
+	for _, r := range regs {
+		if r.Exceeded {
+			t.Errorf("%s flagged as regression: %+v", r.Name, r)
+		}
+	}
+}

@@ -1,12 +1,20 @@
 // Command benchjson converts `go test -bench` text output into a stable
 // JSON document, so benchmark results can be archived next to figures and
 // diffed across commits without scraping text. Repeated runs of the same
-// benchmark (-count=N) are aggregated into one entry with their mean.
+// benchmark (-count=N) are aggregated into one entry with their mean;
+// runs that disagree on the reported unit set are skipped with a warning
+// instead of averaged wrong.
+//
+// With -baseline it additionally acts as the CI performance gate:
+// current results are compared against a committed baseline JSON and the
+// process exits nonzero when any benchmark's ns/op regressed more than
+// -tolerance (default 15%).
 //
 // Usage:
 //
 //	go test -bench=. -benchmem . | benchjson -out results/bench.json
 //	benchjson -in results/bench-engines.txt -out results/bench-engines.json
+//	benchjson -in bench.txt -baseline results/bench-baseline.json -tolerance 0.15
 package main
 
 import (
@@ -20,6 +28,8 @@ import (
 func main() {
 	in := flag.String("in", "", "benchmark text output to parse (default stdin)")
 	out := flag.String("out", "", "JSON output file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON to gate ns/op regressions against")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op regression before the gate fails")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -32,10 +42,13 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	results, err := Parse(r)
+	results, skipped, err := Parse(r)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	for _, name := range skipped {
+		fmt.Fprintf(os.Stderr, "warning: %s skipped: its runs report different unit sets and cannot be averaged\n", name)
 	}
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
@@ -44,12 +57,26 @@ func main() {
 	}
 	data = append(data, '\n')
 	if *out == "" {
-		os.Stdout.Write(data)
-		return
+		if *baseline == "" {
+			os.Stdout.Write(data)
+		}
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d benchmarks to %s\n", len(results), *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if *baseline != "" {
+		failed, err := runGate(results, *baseline, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if failed {
+			fmt.Fprintln(os.Stderr, "benchjson: performance gate failed")
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: performance gate passed")
 	}
-	fmt.Printf("wrote %d benchmarks to %s\n", len(results), *out)
 }

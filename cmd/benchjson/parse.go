@@ -19,6 +19,11 @@ type Result struct {
 	// Iterations is the mean b.N across runs.
 	Iterations float64 `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	// MinNsPerOp is the fastest run. The performance gate compares mins,
+	// not means: interference from a shared host only ever adds time, so
+	// min-of-N approximates the machine's true cost where the mean tracks
+	// whatever the co-tenants were doing during the window.
+	MinNsPerOp float64 `json:"min_ns_per_op,omitempty"`
 	// BytesPerOp and AllocsPerOp are present only with -benchmem.
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
@@ -30,15 +35,25 @@ type Result struct {
 type accum struct {
 	runs                     int
 	iters, ns, bytes, allocs float64
+	nsMin                    float64
 	hasBytes, hasAllocs      bool
 	metrics                  map[string]float64
-	metricRuns               map[string]int
+	// units is the unit signature of the first run; mixed flips when a
+	// later run reports a different unit set, which would make the summed
+	// means silently wrong (a value missing from some runs still divides
+	// by the total run count). Mixed benchmarks are dropped and reported.
+	units string
+	mixed bool
 }
 
 // Parse reads `go test -bench` output and returns one aggregated Result
-// per benchmark name, in first-seen order. Non-benchmark lines (headers,
-// PASS/ok trailers, benchstat noise) are skipped.
-func Parse(r io.Reader) ([]Result, error) {
+// per benchmark name, in first-seen order, plus the names of benchmarks
+// that were skipped because their repeated runs disagreed on the set of
+// reported units (e.g. a -benchmem run concatenated with a plain one) —
+// averaging across different unit sets would misreport every mean.
+// Non-benchmark lines (headers, PASS/ok trailers, benchstat noise) are
+// skipped.
+func Parse(r io.Reader) ([]Result, []string, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	acc := map[string]*accum{}
@@ -58,11 +73,15 @@ func Parse(r io.Reader) ([]Result, error) {
 		if err != nil {
 			continue
 		}
+		units := unitSignature(fields)
 		a := acc[name]
 		if a == nil {
-			a = &accum{metrics: map[string]float64{}, metricRuns: map[string]int{}}
+			a = &accum{metrics: map[string]float64{}, units: units}
 			acc[name] = a
 			order = append(order, name)
+		} else if a.units != units {
+			a.mixed = true
+			continue
 		}
 		a.runs++
 		a.iters += iters
@@ -74,6 +93,9 @@ func Parse(r io.Reader) ([]Result, error) {
 			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				a.ns += v
+				if a.nsMin == 0 || v < a.nsMin {
+					a.nsMin = v
+				}
 			case "B/op":
 				a.bytes += v
 				a.hasBytes = true
@@ -82,22 +104,27 @@ func Parse(r io.Reader) ([]Result, error) {
 				a.hasAllocs = true
 			default:
 				a.metrics[unit] += v
-				a.metricRuns[unit]++
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("benchjson: %w", err)
+		return nil, nil, fmt.Errorf("benchjson: %w", err)
 	}
 	results := make([]Result, 0, len(order))
+	var skipped []string
 	for _, name := range order {
 		a := acc[name]
+		if a.mixed {
+			skipped = append(skipped, name)
+			continue
+		}
 		n := float64(a.runs)
 		res := Result{
 			Name:       name,
 			Runs:       a.runs,
 			Iterations: a.iters / n,
 			NsPerOp:    a.ns / n,
+			MinNsPerOp: a.nsMin,
 		}
 		if a.hasBytes {
 			res.BytesPerOp = a.bytes / n
@@ -108,12 +135,26 @@ func Parse(r io.Reader) ([]Result, error) {
 		if len(a.metrics) > 0 {
 			res.Metrics = make(map[string]float64, len(a.metrics))
 			for unit, sum := range a.metrics {
-				res.Metrics[unit] = sum / float64(a.metricRuns[unit])
+				res.Metrics[unit] = sum / n
 			}
 		}
 		results = append(results, res)
 	}
-	return results, nil
+	return results, skipped, nil
+}
+
+// unitSignature renders the ordered unit list of one result line
+// ("ns/op,B/op,allocs/op"). go test emits units in a fixed order per
+// benchmark, so run-to-run consistency reduces to string equality.
+func unitSignature(fields []string) string {
+	var b strings.Builder
+	for i := 3; i < len(fields); i += 2 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(fields[i])
+	}
+	return b.String()
 }
 
 // stripProcs removes the trailing -GOMAXPROCS suffix go test appends to

@@ -2,6 +2,7 @@ package main
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -19,9 +20,12 @@ ok  	noceval	12.345s
 `
 
 func TestParse(t *testing.T) {
-	results, err := Parse(strings.NewReader(benchOutput))
+	results, skipped, err := Parse(strings.NewReader(benchOutput))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped %v from consistent output", skipped)
 	}
 	if len(results) != 3 {
 		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(results), results)
@@ -36,6 +40,9 @@ func TestParse(t *testing.T) {
 	}
 	if full.NsPerOp != 50000000 {
 		t.Errorf("ns/op = %g, want the mean 5e7", full.NsPerOp)
+	}
+	if full.MinNsPerOp != 40000000 {
+		t.Errorf("min ns/op = %g, want the fastest run 4e7", full.MinNsPerOp)
 	}
 	if full.AllocsPerOp != 2049 {
 		t.Errorf("allocs/op = %g, want 2049", full.AllocsPerOp)
@@ -60,12 +67,75 @@ func TestParse(t *testing.T) {
 }
 
 func TestParseEmpty(t *testing.T) {
-	results, err := Parse(strings.NewReader("PASS\nok noceval 0.1s\n"))
+	results, skipped, err := Parse(strings.NewReader("PASS\nok noceval 0.1s\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 0 {
-		t.Fatalf("parsed %d benchmarks from empty output", len(results))
+	if len(results) != 0 || len(skipped) != 0 {
+		t.Fatalf("parsed %d benchmarks (skipped %v) from empty output", len(results), skipped)
+	}
+}
+
+// TestParseMixedUnits: runs of one benchmark that disagree on the unit
+// set must be skipped entirely rather than averaged — a missing value
+// would silently dilute every mean — while consistent benchmarks in the
+// same stream still parse.
+func TestParseMixedUnits(t *testing.T) {
+	cases := []struct {
+		name        string
+		input       string
+		wantNames   []string
+		wantSkipped []string
+	}{
+		{
+			name: "benchmem run concatenated with plain run",
+			input: "BenchmarkMixed-8 10 100 ns/op 64 B/op 2 allocs/op\n" +
+				"BenchmarkMixed-8 10 300 ns/op\n" +
+				"BenchmarkClean-8 10 50 ns/op\n" +
+				"BenchmarkClean-8 10 70 ns/op\n",
+			wantNames:   []string{"BenchmarkClean"},
+			wantSkipped: []string{"BenchmarkMixed"},
+		},
+		{
+			name: "custom metric present in only some runs",
+			input: "BenchmarkMetric-8 10 100 ns/op 12.5 sim-Mcycles/s\n" +
+				"BenchmarkMetric-8 10 200 ns/op\n",
+			wantNames:   nil,
+			wantSkipped: []string{"BenchmarkMetric"},
+		},
+		{
+			name: "same units in every run",
+			input: "BenchmarkOK-8 10 100 ns/op 64 B/op 2 allocs/op\n" +
+				"BenchmarkOK-8 10 200 ns/op 64 B/op 2 allocs/op\n",
+			wantNames:   []string{"BenchmarkOK"},
+			wantSkipped: nil,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			results, skipped, err := Parse(strings.NewReader(c.input))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var names []string
+			for _, r := range results {
+				names = append(names, r.Name)
+			}
+			if !reflect.DeepEqual(names, c.wantNames) {
+				t.Errorf("parsed %v, want %v", names, c.wantNames)
+			}
+			if !reflect.DeepEqual(skipped, c.wantSkipped) {
+				t.Errorf("skipped %v, want %v", skipped, c.wantSkipped)
+			}
+		})
+	}
+	// The clean benchmark's mean must come from its own runs only.
+	results, _, err := Parse(strings.NewReader(cases[0].input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].NsPerOp != 60 {
+		t.Errorf("clean benchmark mean = %+v, want ns/op 60", results)
 	}
 }
 

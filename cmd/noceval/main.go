@@ -62,6 +62,8 @@ func netFlags(fs *flag.FlagSet) *core.NetworkParams {
 	fs.StringVar(&p.Pattern, "pattern", p.Pattern, "traffic pattern")
 	fs.StringVar(&p.Sizes, "sizes", p.Sizes, "packet sizes (single, bimodal)")
 	fs.Uint64Var(&p.Seed, "seed", p.Seed, "random seed")
+	fs.IntVar(&p.Shards, "shards", core.EnvShards(),
+		"spatial tiles stepped concurrently per cycle (0/1 sequential; bit-identical at any count; default $NOCEVAL_SHARDS)")
 	return &p
 }
 

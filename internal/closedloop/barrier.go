@@ -113,6 +113,7 @@ func RunBarrier(cfg BarrierConfig) (*BarrierResult, error) {
 	if cfg.Inspect != nil {
 		cfg.Inspect(net)
 	}
+	net.Close()
 	if !completed {
 		return res, nil // Completed stays false
 	}

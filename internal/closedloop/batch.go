@@ -540,6 +540,7 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 	if cfg.Inspect != nil {
 		cfg.Inspect(net)
 	}
+	net.Close()
 	return res, nil
 }
 

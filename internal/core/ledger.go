@@ -15,6 +15,7 @@ import (
 	"noceval/internal/engine"
 	"noceval/internal/expcache"
 	"noceval/internal/fault"
+	"noceval/internal/network"
 	"noceval/internal/obs"
 	"noceval/internal/obs/ledger"
 )
@@ -109,6 +110,20 @@ func (s *runScope) onEngine(eo engine.Outcome) {
 	s.rec.Stepped = eo.Stepped
 	s.rec.Skipped = eo.Skipped
 	s.rec.SkipRatio = eo.SkipRatio()
+}
+
+// shards is installed as the run config's Inspect hook; it captures the
+// sharded-simulation shape (tile count, mean load imbalance) off the
+// network before the run mode releases it. Sequential runs leave the
+// fields zero so the record omits them.
+func (s *runScope) shards(net *network.Network) {
+	if s == nil {
+		return
+	}
+	if k, _, imb := net.ShardStats(); k > 1 {
+		s.rec.Shards = k
+		s.rec.ShardImbalance = imb
+	}
 }
 
 // faults copies a faulted run's injection/recovery counters; a nil Stats

@@ -10,6 +10,8 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 
 	"noceval/internal/fault"
 	"noceval/internal/network"
@@ -39,11 +41,47 @@ type NetworkParams struct {
 	// configurations keep their pre-existing experiment-cache keys, while
 	// every faulted configuration hashes under its own key.
 	Fault *fault.Params `json:",omitempty"`
+	// Shards steps the network as that many concurrent spatial tiles
+	// (network.Config.Shards); 0/1 is the sequential loop. Sharding is
+	// bit-identical to sequential by construction, so the runners
+	// normalize it out of experiment-cache keys — the same run at any
+	// shard count hits the same cache entry. json-omitted to keep
+	// pre-existing keys and goldens byte-stable.
+	Shards int `json:",omitempty"`
+}
+
+// cacheNorm returns the parameters as they enter experiment-cache keys:
+// Shards is zeroed because sharding is bit-identical to sequential — the
+// same experiment at any shard count must hit the same cache entry (and
+// a cached result must satisfy a later sharded request).
+func (p NetworkParams) cacheNorm() NetworkParams {
+	p.Shards = 0
+	return p
+}
+
+// EnvShards reads the NOCEVAL_SHARDS environment variable — how the CI
+// determinism matrix (and local runs) push a shard count into every
+// network a test builds through the flag defaults or explicit opt-in.
+// Returns 0 (sequential) when unset or malformed.
+func EnvShards() int {
+	v := os.Getenv("NOCEVAL_SHARDS")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
 }
 
 // Baseline returns the bold values of Table I: an 8x8 mesh with 2 VCs,
 // 16-flit buffers, 1-cycle routers, DOR, round-robin arbitration,
-// single-flit packets, uniform random traffic.
+// single-flit packets, uniform random traffic. The shard count comes
+// from NOCEVAL_SHARDS (0 when unset): sharding is bit-identical by
+// construction, so the CI determinism matrix can re-run every figure,
+// golden, and test built on Baseline with the network split into tiles
+// and demand unchanged output.
 func Baseline() NetworkParams {
 	return NetworkParams{
 		Topology:    "mesh8x8",
@@ -55,6 +93,7 @@ func Baseline() NetworkParams {
 		Pattern:     "uniform",
 		Sizes:       "single",
 		Seed:        1,
+		Shards:      EnvShards(),
 	}
 }
 
@@ -95,8 +134,9 @@ func (p NetworkParams) Build() (network.Config, error) {
 			Arb:          arb,
 			SAIterations: p.SAIterations,
 		},
-		Seed:  p.Seed,
-		Fault: p.Fault,
+		Seed:   p.Seed,
+		Fault:  p.Fault,
+		Shards: p.Shards,
 	}
 	if err := cfg.Validate(); err != nil {
 		return network.Config{}, err

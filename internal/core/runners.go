@@ -60,6 +60,7 @@ func OpenLoopObserved(p NetworkParams, rate float64, h Hooks) (*openloop.Result,
 	s := beginRun("openloop")
 	if s != nil {
 		cfg.OnEngine = s.onEngine
+		cfg.Inspect = s.shards
 	}
 	res, err := openloop.Run(cfg)
 	if res != nil {
@@ -102,7 +103,7 @@ func openLoopConfig(p NetworkParams, o OpenLoopOpts) (openloop.Config, error) {
 // config) with phase lengths normalized to their effective values.
 func openLoopCached(p NetworkParams, cfg openloop.Config) (*openloop.Result, error) {
 	key := openLoopKey{
-		Params:  p,
+		Params:  p.cacheNorm(),
 		Rate:    cfg.Rate,
 		Warmup:  defaulted(cfg.Warmup, openloop.DefaultWarmup),
 		Measure: defaulted(cfg.Measure, openloop.DefaultMeasure),
@@ -112,6 +113,7 @@ func openLoopCached(p NetworkParams, cfg openloop.Config) (*openloop.Result, err
 	s.spec(key)
 	if s != nil {
 		cfg.OnEngine = s.onEngine
+		cfg.Inspect = s.shards
 	}
 	res, consulted, hit, err := cachedInfo("openloop", key, func() (*openloop.Result, error) {
 		return openloop.Run(cfg)
@@ -217,6 +219,7 @@ func Batch(p NetworkParams, bp BatchParams) (*closedloop.BatchResult, error) {
 		}
 		if s != nil {
 			cfg.OnEngine = s.onEngine
+			cfg.Inspect = s.shards
 		}
 		return closedloop.RunBatch(cfg)
 	}
@@ -238,7 +241,7 @@ func Batch(p NetworkParams, bp BatchParams) (*closedloop.BatchResult, error) {
 	if bp.Reply != nil {
 		reply = bp.Reply.Name()
 	}
-	key := batchKey{Params: p, B: bp.B, M: bp.M, NAR: bp.NAR, Reply: reply, Kernel: bp.Kernel}
+	key := batchKey{Params: p.cacheNorm(), B: bp.B, M: bp.M, NAR: bp.NAR, Reply: reply, Kernel: bp.Kernel}
 	s.spec(key)
 	res, consulted, hit, err := cachedInfo("batch", key, run)
 	s.cache(consulted, hit)
@@ -259,7 +262,7 @@ func Barrier(p NetworkParams, b, phases int) (*closedloop.BarrierResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	key := barrierKey{Params: p, B: b, Phases: phases}
+	key := barrierKey{Params: p.cacheNorm(), B: b, Phases: phases}
 	s := beginRun("barrier")
 	s.spec(key)
 	res, consulted, hit, err := cachedInfo("barrier", key, func() (*closedloop.BarrierResult, error) {
@@ -273,6 +276,7 @@ func Barrier(p NetworkParams, b, phases int) (*closedloop.BarrierResult, error) 
 		}
 		if s != nil {
 			cfg.OnEngine = s.onEngine
+			cfg.Inspect = s.shards
 		}
 		return closedloop.RunBarrier(cfg)
 	})
@@ -311,7 +315,7 @@ func Exec(p NetworkParams, ep ExecParams) (*cmp.Result, error) {
 	}
 	// Normalize the effective seed (execProfile falls back to the network
 	// seed) so both spellings share a cache entry.
-	key := execKey{Params: p, Exec: ep}
+	key := execKey{Params: p.cacheNorm(), Exec: ep}
 	if key.Exec.Seed == 0 {
 		key.Exec.Seed = p.Seed
 	}
@@ -383,5 +387,6 @@ func Table2Network(tr int64) NetworkParams {
 		Pattern:     "uniform",
 		Sizes:       "single",
 		Seed:        1,
+		Shards:      EnvShards(),
 	}
 }

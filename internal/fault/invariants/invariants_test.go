@@ -17,6 +17,7 @@ import (
 
 	"noceval/internal/closedloop"
 	"noceval/internal/cmp"
+	"noceval/internal/core"
 	"noceval/internal/fault"
 	"noceval/internal/fault/invariants"
 	"noceval/internal/network"
@@ -77,6 +78,10 @@ func trialNet(t *testing.T, topoName string, seed uint64, fp *fault.Params) netw
 		Router:  router.Config{VCs: 2, BufDepth: 4, Delay: 1},
 		Seed:    seed,
 		Fault:   fp,
+		// The CI determinism matrix re-runs the whole harness at 1, 2 and
+		// 4 shards; the oracle and the determinism pins must hold at any
+		// shard count.
+		Shards: core.EnvShards(),
 	}
 	if err := cfg.Validate(); err != nil {
 		t.Fatalf("trial config invalid: %v", err)

@@ -91,6 +91,43 @@ func TestActiveSetMatchesFullScan(t *testing.T) {
 	}
 }
 
+// activeBit reports whether router id is in its tile's active set.
+func (n *Network) activeBit(id int) bool {
+	tl := &n.tiles[n.tileOf[id]]
+	bit := id - tl.lo
+	return tl.active[bit>>6]&(1<<uint(bit&63)) != 0
+}
+
+// checkActiveInvariant asserts the invariant the active-set optimization
+// rests on, across however many tiles the network has: every non-idle
+// router is in its tile's active set, the per-tile counts match the
+// bitmaps, and every node with a non-empty source queue has its
+// srcPending bit set.
+func checkActiveInvariant(t *testing.T, n *Network) {
+	t.Helper()
+	count := 0
+	for i, r := range n.routers {
+		bit := n.activeBit(i)
+		if bit {
+			count++
+		}
+		if !r.Idle() && !bit {
+			t.Fatalf("cycle %d: router %d busy (occ=%d inflight=%d credits pending) but not in active set",
+				n.Now(), i, r.Occupancy(), r.InFlight())
+		}
+	}
+	if count != n.ActiveCount() {
+		t.Fatalf("cycle %d: ActiveCount = %d, bitmaps have %d", n.Now(), n.ActiveCount(), count)
+	}
+	for node := range n.srcQ {
+		tl := &n.tiles[n.tileOf[node]]
+		bit := node - tl.lo
+		if n.SourceQueueLen(node) > 0 && tl.srcPending[bit>>6]&(1<<uint(bit&63)) == 0 {
+			t.Fatalf("cycle %d: node %d has queued flits but no srcPending bit", n.Now(), node)
+		}
+	}
+}
+
 // TestActiveSetInvariant checks, after every cycle, the invariant the
 // active-set optimization rests on: every router with buffered flits,
 // pipeline flits, or pending credits is in the active set, and every node
@@ -104,40 +141,21 @@ func TestActiveSetInvariant(t *testing.T) {
 		Router:  router.Config{VCs: 2, BufDepth: 4, Delay: 1},
 		Seed:    3,
 	})
-	check := func() {
-		count := 0
-		for i, r := range n.routers {
-			bit := n.active[i>>6]&(1<<uint(i&63)) != 0
-			if bit {
-				count++
-			}
-			if !r.Idle() && !bit {
-				t.Fatalf("cycle %d: router %d busy (occ=%d inflight=%d credits pending) but not in active set",
-					n.Now(), i, r.Occupancy(), r.InFlight())
-			}
-		}
-		if count != n.activeCount {
-			t.Fatalf("cycle %d: activeCount = %d, bitmap has %d", n.Now(), n.activeCount, count)
-		}
-		for node := range n.srcQ {
-			if n.SourceQueueLen(node) > 0 && n.srcPending[node>>6]&(1<<uint(node&63)) == 0 {
-				t.Fatalf("cycle %d: node %d has queued flits but no srcPending bit", n.Now(), node)
-			}
-		}
-	}
-	driveBursty(t, n, 2000, 5, check)
+	driveBursty(t, n, 2000, 5, func() { checkActiveInvariant(t, n) })
 
-	// Drain completely: the set must empty, making Quiescent O(1)-true.
+	// Drain completely: the set must empty, making Quiescent O(tiles)-true.
 	end, drained := n.RunUntilQuiescent(100000)
 	if !drained {
 		t.Fatalf("network failed to drain by cycle %d", end)
 	}
-	if n.activeCount != 0 {
-		t.Fatalf("drained network has activeCount = %d", n.activeCount)
+	if n.ActiveCount() != 0 {
+		t.Fatalf("drained network has activeCount = %d", n.ActiveCount())
 	}
-	for w, word := range n.active {
-		if word != 0 {
-			t.Fatalf("drained network has active bits in word %d: %#x", w, word)
+	for ti := range n.tiles {
+		for w, word := range n.tiles[ti].active {
+			if word != 0 {
+				t.Fatalf("drained network has active bits in tile %d word %d: %#x", ti, w, word)
+			}
 		}
 	}
 	if !n.Quiescent() {

@@ -18,6 +18,7 @@ import (
 
 	"noceval/internal/fault"
 	"noceval/internal/obs"
+	"noceval/internal/par"
 	"noceval/internal/router"
 	"noceval/internal/routing"
 	"noceval/internal/sim"
@@ -34,6 +35,11 @@ type Config struct {
 	// positive Timeout) the recovery NIC into the network. Nil or all-zero
 	// leaves the network bit-identical to a fault-free build.
 	Fault *fault.Params
+	// Shards partitions the network into that many spatial tiles stepped
+	// concurrently inside each cycle (clamped to the topology's row count).
+	// 0 or 1 keeps the sequential cycle loop; any value is bit-identical to
+	// it — sharding is purely a wall-clock optimization. See DESIGN §12.
+	Shards int
 }
 
 // Validate reports configuration errors.
@@ -43,6 +49,9 @@ func (c Config) Validate() error {
 	}
 	if c.Routing == nil {
 		return fmt.Errorf("network: nil routing algorithm")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("network: Shards must be >= 0, got %d", c.Shards)
 	}
 	if err := c.Fault.Validate(c.Topo); err != nil {
 		return err
@@ -82,28 +91,40 @@ type Network struct {
 
 	nextPacketID uint64
 
-	// Activity tracking. active is a bitset over router ids with bit i set
-	// exactly when router i is not idle (it holds buffered flits, in-flight
-	// pipeline flits, or pending credits) — routers register through their
-	// wake callback and are deregistered by Step's compute sweep the cycle
-	// they go idle. activeCount mirrors the popcount so Quiescent is O(1).
+	// Activity tracking, kept per spatial tile. Each tile owns a bitset
+	// over its contiguous router range with bit b set exactly when router
+	// lo+b is not idle (it holds buffered flits, in-flight pipeline flits,
+	// or pending credits) — routers register through their wake callback
+	// and are deregistered by Step's compute sweep the cycle they go idle.
+	// activeCount mirrors the popcount so Quiescent stays O(tiles).
 	// srcPending is the analogous bitset over nodes with a nonempty source
-	// queue. Both are iterated in ascending id order, so the active-set
-	// paths visit routers and nodes in exactly the order the full scans do.
-	active      []uint64
-	activeCount int
-	srcPending  []uint64
+	// queue. Both are iterated in ascending id order within a tile and
+	// tiles are ascending id ranges, so the active-set paths visit routers
+	// and nodes in exactly the order the full scans do. A sequential
+	// network is the single tile [0, N); sharded networks (see shard.go)
+	// split per-tile so concurrently stepping tiles never share a bitset
+	// word.
+	tiles  []netTile
+	tileOf []int32
+	// gang is the resident worker crew stepping tiles concurrently; nil
+	// for a sequential (Shards <= 1) network.
+	gang *par.Gang
 	// fullScan restores the pre-activity-tracking per-cycle full scans of
 	// every router and source queue. It exists for one release as the
 	// reference path of the determinism regression test; the bitsets are
-	// still maintained but not consulted.
+	// still maintained but not consulted. Full scan also forces the
+	// sequential cycle loop, so it doubles as the reference side of the
+	// sharded determinism tests.
 	fullScan bool
 
 	// Conservation accounting. Every packet object handed to Send ends in
 	// exactly one of: arrived, dead (died inside the network), discarded
 	// (checksum-rejected at the destination), or dup (redundant incarnation
 	// discarded by receiver dedup) — the invariant harness checks the sum.
-	flitsInjected    int64 // flits that entered a router injection buffer
+	// Counters mutated only in serial phases stay global; flit injection
+	// and source-queue depth are mutated by the (potentially parallel)
+	// inject phase, so they live per tile (see netTile) and are summed on
+	// read.
 	flitsEjected     int64
 	flitsDeadDropped int64 // flits discarded by fault injection
 	pktsSent         int64 // packets handed to Send
@@ -111,7 +132,6 @@ type Network struct {
 	pktsDead         int64 // packets that died inside the network
 	pktsDiscarded    int64 // corrupt packets rejected at the destination
 	pktsDup          int64 // duplicate deliveries discarded by the NIC
-	queuedFlits      int64 // flits waiting in source queues
 
 	// Observability state, all nil/empty until AttachObserver: the per-cycle
 	// path pays one nil check when disabled.
@@ -137,6 +157,45 @@ type Network struct {
 	cFaultDeadDropped *obs.Counter
 }
 
+// netTile is the per-shard slice of the network's mutable bookkeeping: a
+// contiguous router range with its own activity bitsets and the counters
+// the inject phase mutates, plus the outboxes the sharded cycle loop
+// buffers cross-tile effects in (drained serially at phase boundaries;
+// always empty between Steps). Bit b of the bitsets denotes router/node
+// lo+b.
+type netTile struct {
+	lo, hi        int
+	active        []uint64
+	activeCount   int
+	srcPending    []uint64
+	queuedFlits   int64 // flits waiting in this tile's source queues
+	flitsInjected int64 // flits that entered this tile's injection buffers
+
+	// Deliver-phase outboxes (sharded fault-free path only): terminal
+	// ejections and flits bound for another tile's input buffer, applied
+	// serially between the deliver and compute phases.
+	ejectOut []ejectedFlit
+	flitOut  []crossFlit
+	// Compute-phase outbox: credits owed to upstream routers in other
+	// tiles, applied serially after the compute phase.
+	creditOut []crossCredit
+}
+
+type ejectedFlit struct {
+	id int
+	f  router.Flit
+}
+
+type crossFlit struct {
+	to, toPort int
+	f          router.Flit
+}
+
+type crossCredit struct {
+	up       *router.Router
+	port, vc int
+}
+
 // New builds a network. It panics on invalid configuration; use
 // Config.Validate to check first when the configuration is user-supplied.
 func New(cfg Config) *Network {
@@ -150,9 +209,21 @@ func New(cfg Config) *Network {
 		routers: make([]*router.Router, t.N),
 		srcQ:    make([]*sim.FIFO[router.Flit], t.N),
 	}
-	words := (t.N + 63) / 64
-	n.active = make([]uint64, words)
-	n.srcPending = make([]uint64, words)
+	parts := t.Partition(max(cfg.Shards, 1))
+	n.tiles = make([]netTile, len(parts))
+	n.tileOf = make([]int32, t.N)
+	for ti, part := range parts {
+		words := (part.Len() + 63) / 64
+		n.tiles[ti] = netTile{
+			lo:         part.Lo,
+			hi:         part.Hi,
+			active:     make([]uint64, words),
+			srcPending: make([]uint64, words),
+		}
+		for id := part.Lo; id < part.Hi; id++ {
+			n.tileOf[id] = int32(ti)
+		}
+	}
 	for i := 0; i < t.N; i++ {
 		n.routers[i] = router.New(i, t, cfg.Routing, cfg.Router)
 		n.srcQ[i] = sim.NewFIFO[router.Flit](16)
@@ -167,6 +238,9 @@ func New(cfg Config) *Network {
 				n.routers[link.To].SetUpstream(link.ToPort, n.routers[i], p)
 			}
 		}
+	}
+	if len(n.tiles) > 1 {
+		n.wireShards(parts)
 	}
 	if cfg.Fault.Enabled() {
 		fp := *cfg.Fault
@@ -222,14 +296,18 @@ func (n *Network) SetFullScan(v bool) {
 	}
 }
 
-// markActive inserts router id into the active set. Idempotent: routers
-// wake on every flit or credit arrival, which can happen while the router
-// is still awaiting its deregistration sweep.
+// markActive inserts router id into its tile's active set. Idempotent:
+// routers wake on every flit or credit arrival, which can happen while the
+// router is still awaiting its deregistration sweep. During parallel
+// phases only the tile's own worker (or the serial apply sections) reaches
+// a tile's bitset, so no locking is needed.
 func (n *Network) markActive(id int) {
-	w, b := id>>6, uint64(1)<<(uint(id)&63)
-	if n.active[w]&b == 0 {
-		n.active[w] |= b
-		n.activeCount++
+	t := &n.tiles[n.tileOf[id]]
+	bit := id - t.lo
+	w, b := bit>>6, uint64(1)<<(uint(bit)&63)
+	if t.active[w]&b == 0 {
+		t.active[w] |= b
+		t.activeCount++
 	}
 }
 
@@ -380,16 +458,33 @@ func (n *Network) send(p *router.Packet) {
 	for _, f := range router.Flits(p) {
 		n.srcQ[p.Src].Push(f)
 	}
-	n.srcPending[p.Src>>6] |= 1 << (uint(p.Src) & 63)
-	n.queuedFlits += int64(p.Size)
+	t := &n.tiles[n.tileOf[p.Src]]
+	bit := p.Src - t.lo
+	t.srcPending[bit>>6] |= 1 << (uint(bit) & 63)
+	t.queuedFlits += int64(p.Size)
 }
 
 // SourceQueueLen returns the number of flits waiting at a node's source
 // queue (not yet inside the network).
 func (n *Network) SourceQueueLen(node int) int { return n.srcQ[node].Len() }
 
-// Step advances the network one cycle.
+// Step advances the network one cycle. With more than one tile the cycle
+// runs on the gang (shard.go); the full-scan reference mode and an
+// attached tracer force the sequential loop (trace append order is
+// inherently serial), which stays correct with shards because cross-tile
+// credit deferral is behaviour-preserving in either loop.
 func (n *Network) Step() {
+	if n.gang != nil && !n.fullScan && n.tracer == nil {
+		n.stepSharded()
+		return
+	}
+	n.stepSequential()
+}
+
+// stepSequential is the single-threaded cycle: deliver, inject, compute,
+// sample, tick — the reference semantics every other path must match
+// bit for bit.
+func (n *Network) stepSequential() {
 	now := n.clock.Now()
 	if n.faults != nil {
 		n.faultPreStep(now)
@@ -402,6 +497,12 @@ func (n *Network) Step() {
 		}
 	} else {
 		n.stepActive(now)
+	}
+	if n.gang != nil {
+		// Routers of a sharded network defer cross-tile credits even on
+		// the sequential loop (the sink is wired at construction); drain
+		// them exactly where the sharded loop does.
+		n.applyCrossCredits(now)
 	}
 	if n.obs != nil && n.obs.ShouldSample(now) {
 		n.sample(now)
@@ -417,16 +518,27 @@ func (n *Network) Step() {
 // are provably no-op steps (the credit is never ready before the next
 // cycle), so the resulting state matches the full scan exactly.
 func (n *Network) stepActive(now int64) {
-	for w := range n.active {
-		word := n.active[w]
+	for ti := range n.tiles {
+		n.stepTile(now, ti)
+	}
+}
+
+// stepTile is stepActive restricted to one tile. On the sharded path each
+// gang member runs its own tile; tiles share no mutable state here —
+// cross-tile credits go through the routers' credit sink into the tile's
+// outbox.
+func (n *Network) stepTile(now int64, ti int) {
+	t := &n.tiles[ti]
+	for w := range t.active {
+		word := t.active[w]
 		for word != 0 {
 			i := bits.TrailingZeros64(word)
 			word &= word - 1
-			r := n.routers[w<<6+i]
+			r := n.routers[t.lo+w<<6+i]
 			r.Step(now)
 			if r.Idle() {
-				n.active[w] &^= 1 << uint(i)
-				n.activeCount--
+				t.active[w] &^= 1 << uint(i)
+				t.activeCount--
 				r.ClearAwake()
 			}
 		}
@@ -454,10 +566,21 @@ func (n *Network) deliver(now int64) {
 		}
 		return
 	}
-	for w := range n.active {
-		word := n.active[w]
+	for ti := range n.tiles {
+		n.deliverTile(now, ti)
+	}
+}
+
+// deliverTile is the active-set deliver phase restricted to one tile,
+// delivering directly (serial semantics). The sharded loop uses
+// deliverTileBuffered (shard.go) instead, which diverts cross-tile
+// effects into outboxes.
+func (n *Network) deliverTile(now int64, ti int) {
+	t := &n.tiles[ti]
+	for w := range t.active {
+		word := t.active[w]
 		for word != 0 {
-			id := w<<6 + bits.TrailingZeros64(word)
+			id := t.lo + w<<6 + bits.TrailingZeros64(word)
 			word &= word - 1
 			r := n.routers[id]
 			for m := r.PipeMask(); m != 0; m &= m - 1 {
@@ -476,25 +599,7 @@ func (n *Network) deliver(now int64) {
 func (n *Network) handleDelivered(now int64, id, p int, f router.Flit) {
 	t := n.cfg.Topo
 	if p == t.LocalPort() {
-		n.flitsEjected++
-		if n.obs != nil {
-			n.nodeEjected[id]++
-			n.cFlitEjected.Inc()
-		}
-		if f.Tail() {
-			if n.faults != nil && !n.acceptAtDest(now, f.P) {
-				return
-			}
-			f.P.ArriveTime = now
-			n.pktsArrived++
-			n.cPktArrived.Inc()
-			if n.tracer != nil {
-				n.tracer.Record(now, f.P.ID, id, obs.PhaseEject)
-			}
-			if n.OnReceive != nil {
-				n.OnReceive(now, f.P)
-			}
-		}
+		n.ejectFlit(now, id, f)
 		return
 	}
 	link := t.LinkAt(id, p)
@@ -504,28 +609,66 @@ func (n *Network) handleDelivered(now int64, id, p int, f router.Flit) {
 	n.routers[link.To].AcceptFlit(link.ToPort, int(f.VC), f)
 }
 
+// ejectFlit performs the terminal-arrival bookkeeping for one flit leaving
+// router id's local port. It mutates only global (serial-phase) state, so
+// the sharded loop calls it exclusively from the serial apply section, in
+// the same ascending-id order the sequential deliver sweep would.
+func (n *Network) ejectFlit(now int64, id int, f router.Flit) {
+	n.flitsEjected++
+	if n.obs != nil {
+		n.nodeEjected[id]++
+		n.cFlitEjected.Inc()
+	}
+	if f.Tail() {
+		if n.faults != nil && !n.acceptAtDest(now, f.P) {
+			return
+		}
+		f.P.ArriveTime = now
+		n.pktsArrived++
+		n.cPktArrived.Inc()
+		if n.tracer != nil {
+			n.tracer.Record(now, f.P.ID, id, obs.PhaseEject)
+		}
+		if n.OnReceive != nil {
+			n.OnReceive(now, f.P)
+		}
+	}
+}
+
 // inject moves flits from source queues into injection buffers while space
 // remains. The active-set path visits only nodes with queued flits.
 func (n *Network) inject(now int64) {
 	if n.fullScan {
 		for node := range n.srcQ {
-			n.injectNode(now, node)
+			n.injectNode(now, &n.tiles[n.tileOf[node]], node)
 		}
 		return
 	}
-	for w := range n.srcPending {
-		word := n.srcPending[w]
+	for ti := range n.tiles {
+		n.injectTile(now, ti)
+	}
+}
+
+// injectTile runs the inject phase over one tile's pending nodes. On the
+// sharded path each gang member injects its own tile: a node's router and
+// source queue belong to exactly one tile, and the per-node observability
+// counters touch disjoint slice elements.
+func (n *Network) injectTile(now int64, ti int) {
+	t := &n.tiles[ti]
+	for w := range t.srcPending {
+		word := t.srcPending[w]
 		for word != 0 {
-			node := w<<6 + bits.TrailingZeros64(word)
+			node := t.lo + w<<6 + bits.TrailingZeros64(word)
 			word &= word - 1
-			n.injectNode(now, node)
+			n.injectNode(now, t, node)
 		}
 	}
 }
 
 // injectNode drains node's source queue into its injection buffer while
 // space remains, clearing the node's pending bit once the queue empties.
-func (n *Network) injectNode(now int64, node int) {
+// t must be node's tile.
+func (n *Network) injectNode(now int64, t *netTile, node int) {
 	q := n.srcQ[node]
 	r := n.routers[node]
 	for q.Len() > 0 && r.CanAcceptInjection() {
@@ -537,28 +680,38 @@ func (n *Network) injectNode(now int64, node int) {
 			}
 		}
 		r.AcceptFlit(n.cfg.Topo.LocalPort(), r.InjectionVC(), f)
-		n.flitsInjected++
-		n.queuedFlits--
+		t.flitsInjected++
+		t.queuedFlits--
 		if n.obs != nil {
 			n.nodeInjected[node]++
 			n.cFlitInjected.Inc()
 		}
 	}
 	if q.Len() == 0 {
-		n.srcPending[node>>6] &^= 1 << (uint(node) & 63)
+		bit := node - t.lo
+		t.srcPending[bit>>6] &^= 1 << (uint(bit) & 63)
 	}
 }
 
 // Quiescent reports whether no flits remain anywhere: source queues,
 // input buffers, and pipelines are all empty. With activity tracking it
-// is an O(1) counter check; the active set is exact between Steps (every
-// Step's compute sweep deregisters routers that went idle that cycle).
+// is an O(tiles) counter check; the active set is exact between Steps
+// (every Step's compute sweep deregisters routers that went idle that
+// cycle), and cross-tile outboxes drain within each Step, so quiescence of
+// the tiles is quiescence of the network regardless of shard count.
 func (n *Network) Quiescent() bool {
-	if n.queuedFlits != 0 {
-		return false
+	for i := range n.tiles {
+		if n.tiles[i].queuedFlits != 0 {
+			return false
+		}
 	}
 	if !n.fullScan {
-		return n.activeCount == 0
+		for i := range n.tiles {
+			if n.tiles[i].activeCount != 0 {
+				return false
+			}
+		}
+		return true
 	}
 	for _, r := range n.routers {
 		if !r.Idle() {
@@ -571,7 +724,13 @@ func (n *Network) Quiescent() bool {
 // ActiveCount returns the number of routers currently in the active set —
 // an instantaneous load signal for telemetry and for sizing the benefit of
 // activity-tracked stepping. Meaningless (always 0) in full-scan mode.
-func (n *Network) ActiveCount() int { return n.activeCount }
+func (n *Network) ActiveCount() int {
+	c := 0
+	for i := range n.tiles {
+		c += n.tiles[i].activeCount
+	}
+	return c
+}
 
 // SkipTo advances the clock to the given cycle without simulating the
 // intervening cycles. The network must be quiescent, and callers (the
@@ -591,7 +750,16 @@ func (n *Network) NextObsSampleAt() int64 { return n.obs.NextSampleAt() }
 
 // Stats returns the network's cumulative conservation counters.
 func (n *Network) Stats() (pktsSent, pktsArrived, flitsInjected, flitsEjected int64) {
-	return n.pktsSent, n.pktsArrived, n.flitsInjected, n.flitsEjected
+	return n.pktsSent, n.pktsArrived, n.flitsInjectedTotal(), n.flitsEjected
+}
+
+// flitsInjectedTotal sums the per-tile injection counters.
+func (n *Network) flitsInjectedTotal() int64 {
+	var s int64
+	for i := range n.tiles {
+		s += n.tiles[i].flitsInjected
+	}
+	return s
 }
 
 // CheckConservation returns an error when flit/packet accounting is
@@ -605,9 +773,10 @@ func (n *Network) CheckConservation() error {
 	for _, r := range n.routers {
 		inside += int64(r.Occupancy() + r.InFlight())
 	}
-	if n.flitsInjected-n.flitsEjected-n.flitsDeadDropped != inside {
+	injected := n.flitsInjectedTotal()
+	if injected-n.flitsEjected-n.flitsDeadDropped != inside {
 		return fmt.Errorf("network: flit conservation violated: injected %d, ejected %d, dead-dropped %d, inside %d",
-			n.flitsInjected, n.flitsEjected, n.flitsDeadDropped, inside)
+			injected, n.flitsEjected, n.flitsDeadDropped, inside)
 	}
 	if n.Quiescent() {
 		if got := n.pktsArrived + n.pktsDead + n.pktsDiscarded + n.pktsDup; n.pktsSent != got {
@@ -709,15 +878,17 @@ func (n *Network) killRouter(now int64, node int) {
 		n.notePacketDead(f.P)
 	})
 	q := n.srcQ[node]
+	t := &n.tiles[n.tileOf[node]]
 	for {
 		f, ok := q.Pop()
 		if !ok {
 			break
 		}
-		n.queuedFlits--
+		t.queuedFlits--
 		n.notePacketDead(f.P)
 	}
-	n.srcPending[node>>6] &^= 1 << (uint(node) & 63)
+	bit := node - t.lo
+	t.srcPending[bit>>6] &^= 1 << (uint(bit) & 63)
 }
 
 // notePacketDead marks a packet lost inside the network, counting it once

@@ -89,6 +89,11 @@ type Record struct {
 	FaultInjected int64 `json:"fault_injected,omitempty"`
 	FaultRetried  int64 `json:"fault_retried,omitempty"`
 	FaultDead     int64 `json:"fault_dead,omitempty"`
+	// Sharded-simulation shape of the run: the tile count and the mean
+	// sampled load imbalance across tiles (1 = perfectly balanced).
+	// Omitted for sequential runs.
+	Shards         int     `json:"shards,omitempty"`
+	ShardImbalance float64 `json:"shard_imbalance,omitempty"`
 	// Err records a failed execution's error text.
 	Err string `json:"err,omitempty"`
 

@@ -349,6 +349,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Inspect != nil {
 		cfg.Inspect(net)
 	}
+	net.Close()
 	cfg.Progress.Done(net.Now())
 	return res, nil
 }

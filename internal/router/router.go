@@ -96,6 +96,11 @@ type outVC struct {
 type upstreamRef struct {
 	r    *Router // nil for the injection port (the terminal is co-located)
 	port int     // upstream output port feeding our input port
+	// cross marks an upstream router living in a different shard tile:
+	// credits to it are handed to the network's credit sink instead of
+	// applied in place, so concurrently stepping tiles never write each
+	// other's state (see Network.Step's sharded path).
+	cross bool
 }
 
 // Router is one cycle-accurate virtual-channel router.
@@ -195,6 +200,15 @@ type Router struct {
 	// tracer, when non-nil, records head-flit lifecycle events
 	// (route/VC-alloc/switch); nil keeps the hot path untouched.
 	tracer *obs.Tracer
+
+	// creditSink, when non-nil, receives credits destined for cross-tile
+	// upstream routers (see upstreamRef.cross) instead of their being
+	// applied in place; the sharded network drains the sink serially after
+	// the parallel compute phase. Deferral is behaviour-preserving: a
+	// credit pushed at cycle c is never ready before c+2 (link delay >= 1
+	// plus the processing cycle), so applying it before or after the
+	// upstream's own compute step yields the identical end-of-cycle state.
+	creditSink func(up *Router, port, vc int)
 }
 
 // New constructs the router for node id of the given topology. Callers must
@@ -256,6 +270,16 @@ func New(id int, t *topology.Topology, alg routing.Algorithm, cfg Config) *Route
 func (r *Router) SetUpstream(inPort int, up *Router, upPort int) {
 	r.up[inPort] = upstreamRef{r: up, port: upPort}
 }
+
+// SetUpstreamCross marks input port inPort's upstream router as belonging
+// to a different shard tile, routing its credits through the credit sink.
+// Wiring-time only.
+func (r *Router) SetUpstreamCross(inPort int) { r.up[inPort].cross = true }
+
+// SetCreditSink installs the deferred-credit hook for cross-tile upstream
+// references. Nil (the default) applies every credit in place. Wiring-time
+// only.
+func (r *Router) SetCreditSink(f func(up *Router, port, vc int)) { r.creditSink = f }
 
 // SetTracer attaches a flit-lifecycle tracer (nil detaches it).
 func (r *Router) SetTracer(t *obs.Tracer) { r.tracer = t }
@@ -827,9 +851,16 @@ func (r *Router) forward(now int64, p, v int) {
 		r.tracer.Record(now, f.P.ID, r.ID, obs.PhaseSwitch)
 	}
 
-	// Return a credit for the buffer slot we just freed.
+	// Return a credit for the buffer slot we just freed. Cross-tile
+	// credits are deferred through the sink so parallel tile steps never
+	// touch another tile's router; each input port forwards at most one
+	// flit per cycle, so deferral cannot reorder credits within a pipe.
 	if up := r.up[p]; up.r != nil {
-		up.r.receiveCredit(now, up.port, v)
+		if up.cross && r.creditSink != nil {
+			r.creditSink(up.r, up.port, v)
+		} else {
+			up.r.receiveCredit(now, up.port, v)
+		}
 	}
 
 	if f.Tail() {

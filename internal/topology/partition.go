@@ -1,0 +1,85 @@
+package topology
+
+// Spatial partitioning for the sharded cycle loop. A partition splits the
+// router id space into contiguous tiles that the network steps on separate
+// workers; the conservative-lookahead argument (DESIGN §12) needs every
+// link crossing a tile boundary to carry at least one cycle of delay, so
+// that a cycle's parallel phases never observe same-cycle writes from a
+// neighbouring tile.
+
+// Tile is a contiguous range of router ids [Lo, Hi) assigned to one
+// simulation shard. Contiguity matters twice: per-tile bitsets index
+// routers by id-Lo, and visiting tiles in ascending order reproduces the
+// global ascending router order of the sequential cycle loop exactly.
+type Tile struct {
+	Lo, Hi int
+}
+
+// Len returns the number of routers in the tile.
+func (t Tile) Len() int { return t.Hi - t.Lo }
+
+// Contains reports whether router id falls inside the tile.
+func (t Tile) Contains(id int) bool { return id >= t.Lo && id < t.Hi }
+
+// Partition splits the topology's routers into at most shards contiguous
+// tiles of near-equal size. For grids of two or more dimensions the
+// boundaries snap to whole rows (multiples of K[0], the stride-1
+// dimension), so only the links of the boundary rows cross tiles; 1D
+// topologies split anywhere. Fewer tiles come back when the topology has
+// too few rows to populate shards of at least one row each — every
+// returned tile is non-empty and their union covers [0, N) exactly.
+// shards < 1 is treated as 1.
+func (t *Topology) Partition(shards int) []Tile {
+	if shards < 1 {
+		shards = 1
+	}
+	row := 1
+	if t.Dims >= 2 {
+		row = t.K[0]
+	}
+	units := t.N / row // whole rows; N is divisible by K[0] for grids
+	if shards > units {
+		shards = units
+	}
+	tiles := make([]Tile, 0, shards)
+	lo := 0
+	for i := 1; i <= shards; i++ {
+		hi := units * i / shards * row
+		if i == shards {
+			hi = t.N
+		}
+		if hi > lo {
+			tiles = append(tiles, Tile{Lo: lo, Hi: hi})
+			lo = hi
+		}
+	}
+	return tiles
+}
+
+// MinCrossDelay returns the smallest delay of any connected link whose
+// endpoints lie in different tiles, or 0 when no link crosses a tile
+// boundary (a single tile, or disconnected tiles). The sharded network
+// asserts the result is >= 1 before stepping tiles concurrently: a
+// zero-delay cross link would let one tile's compute phase feed another
+// tile within the same cycle, which the barrier scheme cannot order.
+func (t *Topology) MinCrossDelay(tiles []Tile) int64 {
+	tileOf := make([]int, t.N)
+	for ti, tl := range tiles {
+		for id := tl.Lo; id < tl.Hi; id++ {
+			tileOf[id] = ti
+		}
+	}
+	var min int64
+	for id := 0; id < t.N; id++ {
+		for p := 0; p < t.Radix; p++ {
+			link := t.LinkAt(id, p)
+			if !link.Connected() || tileOf[link.To] == tileOf[id] {
+				continue
+			}
+			if min == 0 || link.Delay < min {
+				min = link.Delay
+			}
+		}
+	}
+	return min
+}

@@ -1,0 +1,114 @@
+package topology
+
+import "testing"
+
+// checkCover fails unless the tiles are non-empty, contiguous, ascending,
+// and cover [0, N) exactly — i.e. every router lands in exactly one tile.
+func checkCover(t *testing.T, topo *Topology, tiles []Tile) {
+	t.Helper()
+	if len(tiles) == 0 {
+		t.Fatal("no tiles")
+	}
+	next := 0
+	for i, tl := range tiles {
+		if tl.Len() <= 0 {
+			t.Fatalf("tile %d is empty: %+v", i, tl)
+		}
+		if tl.Lo != next {
+			t.Fatalf("tile %d starts at %d, want %d (gap or overlap)", i, tl.Lo, next)
+		}
+		next = tl.Hi
+	}
+	if next != topo.N {
+		t.Fatalf("tiles end at %d, want N=%d", next, topo.N)
+	}
+}
+
+func TestPartitionCoversEveryRouterOnce(t *testing.T) {
+	topos := []*Topology{
+		NewMesh(8, 8), NewMesh(16, 16), NewTorus(8, 8), NewRing(64), NewMesh(4, 4),
+	}
+	for _, topo := range topos {
+		for _, shards := range []int{1, 2, 3, 4, 7, 8} {
+			tiles := topo.Partition(shards)
+			checkCover(t, topo, tiles)
+			if len(tiles) > shards {
+				t.Errorf("%s shards=%d: got %d tiles", topo.Name, shards, len(tiles))
+			}
+		}
+	}
+}
+
+func TestPartitionSnapsToRows(t *testing.T) {
+	topo := NewMesh(8, 8)
+	for _, shards := range []int{2, 3, 4, 8} {
+		for i, tl := range topo.Partition(shards) {
+			if tl.Lo%topo.K[0] != 0 || tl.Hi%topo.K[0] != 0 {
+				t.Errorf("mesh8x8 shards=%d tile %d = %+v does not align to rows of %d",
+					shards, i, tl, topo.K[0])
+			}
+		}
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	topo := NewMesh(16, 16)
+	tiles := topo.Partition(4)
+	if len(tiles) != 4 {
+		t.Fatalf("got %d tiles, want 4", len(tiles))
+	}
+	for i, tl := range tiles {
+		if tl.Len() != topo.N/4 {
+			t.Errorf("tile %d holds %d routers, want %d", i, tl.Len(), topo.N/4)
+		}
+	}
+}
+
+// Cross-tile links must all carry delay >= 1 for the conservative-lookahead
+// barrier to be sound. Mesh channels are 1 cycle, torus channels 2.
+func TestPartitionCrossDelay(t *testing.T) {
+	cases := []struct {
+		topo *Topology
+		want int64
+	}{
+		{NewMesh(8, 8), 1},
+		{NewTorus(8, 8), 2},
+		{NewRing(16), 1},
+	}
+	for _, c := range cases {
+		tiles := c.topo.Partition(4)
+		if got := c.topo.MinCrossDelay(tiles); got != c.want {
+			t.Errorf("%s: MinCrossDelay = %d, want %d", c.topo.Name, got, c.want)
+		}
+		if got := c.topo.MinCrossDelay(c.topo.Partition(1)); got != 0 {
+			t.Errorf("%s: single tile should have no cross links, got min delay %d", c.topo.Name, got)
+		}
+	}
+}
+
+// Degenerate shapes: a 1xN-style ring splits at arbitrary boundaries, and
+// asking for more shards than rows (or routers) clamps instead of
+// producing empty tiles.
+func TestPartitionDegenerate(t *testing.T) {
+	ring := NewRing(5)
+	tiles := ring.Partition(8)
+	checkCover(t, ring, tiles)
+	if len(tiles) != 5 {
+		t.Errorf("ring5 with 8 shards: got %d tiles, want 5 (one per router)", len(tiles))
+	}
+
+	mesh := NewMesh(4, 2) // 2 rows of 4: at most 2 row-aligned tiles
+	tiles = mesh.Partition(8)
+	checkCover(t, mesh, tiles)
+	if len(tiles) != 2 {
+		t.Errorf("mesh4x2 with 8 shards: got %d tiles, want 2", len(tiles))
+	}
+
+	if got := len(mesh.Partition(0)); got != 1 {
+		t.Errorf("shards=0: got %d tiles, want 1", got)
+	}
+	one := mesh.Partition(1)
+	if len(one) != 1 || one[0] != (Tile{Lo: 0, Hi: mesh.N}) {
+		t.Errorf("shards=1: got %+v, want one full-range tile", one)
+	}
+}

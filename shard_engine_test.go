@@ -1,0 +1,169 @@
+package noceval
+
+import (
+	"reflect"
+	"testing"
+
+	"noceval/internal/core"
+	"noceval/internal/engine"
+	"noceval/internal/fault"
+	"noceval/internal/network"
+	"noceval/internal/router"
+)
+
+// These tests pin the interaction between the engine's quiescence
+// fast-forward and the sharded cycle loop: a skip is legal only when no
+// flit exists anywhere, and sharding must not change that judgment. The
+// cross-tile outboxes drain within every Step, so per-tile quiescence is
+// network quiescence — if an outbox could carry a flit across an engine
+// skip, the stepped/skipped split and the delivery results below would
+// diverge between the sequential and sharded runs.
+
+// burstDriver injects a burst of cross-tile packets every interval cycles
+// and idles in between, giving the fast-forward long provably-empty gaps
+// bounded by scheduled events.
+type burstDriver struct {
+	net      *network.Network
+	interval int64
+	bursts   int
+	sent     int
+	arrived  int
+}
+
+func (d *burstDriver) Cycle(now int64) {
+	if now%d.interval == 0 && d.sent < d.bursts {
+		d.sent++
+		// Corner to corner: the route crosses every row partition.
+		n := d.net.Nodes()
+		d.net.Send(d.net.NewPacket(0, n-1, 4, router.KindData))
+		d.net.Send(d.net.NewPacket(n-1, 0, 4, router.KindData))
+	}
+}
+func (d *burstDriver) Done(now int64) bool {
+	return d.sent >= d.bursts && d.net.Quiescent()
+}
+func (d *burstDriver) Idle(now int64) bool {
+	return d.sent >= d.bursts || now%d.interval != 0
+}
+func (d *burstDriver) NextEvent(now int64) int64 {
+	if d.sent >= d.bursts {
+		return engine.NoEvent
+	}
+	return (now/d.interval + 1) * d.interval
+}
+
+// TestEngineFastForwardShardedBursts: the engine must stop skipping the
+// moment any tile holds traffic and must land exactly on the driver's
+// scheduled bursts — identical end cycle, stepped/skipped split, and
+// delivery counts at every shard count, with a substantial amount of
+// fast-forwarding actually happening.
+func TestEngineFastForwardShardedBursts(t *testing.T) {
+	run := func(shards int) (engine.Outcome, int64, int64) {
+		p := core.Baseline()
+		p.Shards = shards
+		cfg, err := p.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := network.New(cfg)
+		defer net.Close()
+		d := &burstDriver{net: net, interval: 1000, bursts: 5}
+		net.OnReceive = func(now int64, pkt *router.Packet) { d.arrived++ }
+		out := engine.RunOutcome(engine.Config{Net: net, Deadline: 100_000}, d)
+		_, _, fi, fe := net.Stats()
+		if d.arrived != 2*d.bursts {
+			t.Fatalf("shards=%d: %d of %d packets arrived", shards, d.arrived, 2*d.bursts)
+		}
+		if fi != fe {
+			t.Fatalf("shards=%d: %d flits injected but %d ejected", shards, fi, fe)
+		}
+		return out, fi, fe
+	}
+	seqOut, seqFI, seqFE := run(1)
+	if !seqOut.Completed {
+		t.Fatal("sequential run did not complete")
+	}
+	if seqOut.Skipped == 0 {
+		t.Fatal("fast-forward never engaged; the test is not exercising skips")
+	}
+	for _, shards := range []int{2, 4, 8} {
+		out, fi, fe := run(shards)
+		if !reflect.DeepEqual(seqOut, out) {
+			t.Errorf("shards=%d: engine outcome diverges:\nsequential: %+v\nsharded:    %+v", shards, seqOut, out)
+		}
+		if fi != seqFI || fe != seqFE {
+			t.Errorf("shards=%d: stats diverge: injected %d/%d ejected %d/%d", shards, fi, seqFI, fe, seqFE)
+		}
+	}
+}
+
+// nicDriver sends a fixed set of packets at cycle 0 and then idles with no
+// scheduled event: only the NIC's retransmission timeouts keep the run
+// alive, so a fast-forward that skipped past a NIC deadline would wedge
+// the run into the deadline (or the stall watchdog).
+type nicDriver struct {
+	net  *network.Network
+	n    int
+	sent bool
+	dead int
+}
+
+func (d *nicDriver) Cycle(now int64) {
+	if d.sent {
+		return
+	}
+	d.sent = true
+	for i := 0; i < d.n; i++ {
+		d.net.Send(d.net.NewPacket(i, d.net.Nodes()-1-i, 1, router.KindData))
+	}
+}
+func (d *nicDriver) Done(now int64) bool { return d.dead >= d.n }
+func (d *nicDriver) Idle(now int64) bool { return d.sent }
+func (d *nicDriver) NextEvent(now int64) int64 {
+	if d.sent {
+		return engine.NoEvent
+	}
+	return now
+}
+
+// TestEngineFastForwardShardedNICTimeouts: with a 100% drop rate every
+// packet lives only through NIC timeouts and retries until abandonment.
+// The engine's fast-forward must wake exactly at each NIC deadline on the
+// sharded network too — same end cycle and stepped/skipped split.
+func TestEngineFastForwardShardedNICTimeouts(t *testing.T) {
+	run := func(shards int) engine.Outcome {
+		p := core.Baseline()
+		p.Shards = shards
+		p.Fault = &fault.Params{
+			DropRate:   1,
+			Timeout:    500,
+			MaxRetries: 2,
+			Seed:       9,
+		}
+		cfg, err := p.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := network.New(cfg)
+		defer net.Close()
+		d := &nicDriver{net: net, n: 3}
+		net.OnDeadDrop = func(now int64, pkt *router.Packet) { d.dead++ }
+		out := engine.RunOutcome(engine.Config{Net: net, Deadline: 100_000}, d)
+		if d.dead != d.n {
+			t.Fatalf("shards=%d: %d of %d packets abandoned", shards, d.dead, d.n)
+		}
+		return out
+	}
+	seqOut := run(1)
+	if !seqOut.Completed {
+		t.Fatal("sequential run did not complete")
+	}
+	if seqOut.Skipped == 0 {
+		t.Fatal("fast-forward never engaged across NIC timeouts")
+	}
+	for _, shards := range []int{2, 4} {
+		if out := run(shards); !reflect.DeepEqual(seqOut, out) {
+			t.Errorf("shards=%d: engine outcome diverges:\nsequential: %+v\nsharded:    %+v", shards, seqOut, out)
+		}
+	}
+}
