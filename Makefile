@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check lint test race fuzz-smoke golden golden-update check bench bench-compare bench-gate bench-baseline obs-smoke figures ablations examples clean
+.PHONY: all build vet fmt-check lint test race fuzz-smoke golden golden-update check bench bench-compare bench-gate bench-baseline obs-smoke screen-smoke figures ablations examples clean
 
 all: build vet test
 
@@ -60,9 +60,22 @@ golden-update:
 obs-smoke:
 	$(GO) test ./internal/obs/export -run TestMetricsEndpointSmoke -count=1 -v
 
+# Screening-soundness smoke: regenerate the golden figure subset twice on
+# this machine — once unscreened, once with analytic screening — and
+# require the outputs to be byte-identical. This is the hard screening
+# contract (screening decides whether a point simulates, never what a
+# simulation computes); the committed goldens are compared separately,
+# with tolerances, by the golden gate.
+screen-smoke:
+	@rm -rf /tmp/noceval-screen-off /tmp/noceval-screen-on
+	$(GO) run ./cmd/figures -golden -out /tmp/noceval-screen-off
+	$(GO) run ./cmd/figures -golden -screen -out /tmp/noceval-screen-on
+	diff -r /tmp/noceval-screen-off /tmp/noceval-screen-on
+	@echo "screen-smoke: screened and unscreened golden figures are byte-identical"
+
 # Tier-1 gate: everything that must stay green. The golden regression
 # test runs as part of `test` (cmd/figures); `golden` re-runs it verbosely.
-check: build vet fmt-check lint test race obs-smoke
+check: build vet fmt-check lint test race obs-smoke screen-smoke
 
 # One testing.B per paper table/figure; each reports its headline metric.
 bench:
@@ -92,13 +105,23 @@ bench-compare:
 	else \
 		echo "benchstat not installed: raw runs left in results/bench-shards-seq.txt and results/bench-shards-par.txt"; \
 	fi
+	$(GO) test -run '^$$' -bench 'SweepScreening' -benchtime=3x -count=5 . | tee results/bench-screen.txt
+	@grep 'screen=off' results/bench-screen.txt | sed 's|/screen=off||' > results/bench-screen-off.txt
+	@grep 'screen=on' results/bench-screen.txt | sed 's|/screen=on||' > results/bench-screen-on.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat results/bench-screen-off.txt results/bench-screen-on.txt; \
+	else \
+		echo "benchstat not installed: raw runs left in results/bench-screen-off.txt and results/bench-screen-on.txt"; \
+	fi
 
 # Engine-benchmark set fed to the performance gate: the two idle-heavy
-# engine comparisons. ShardScaling is deliberately NOT gated — its wall
-# time tracks the host's parallel capacity, which shared runners do not
-# hold constant (observed ~2x window-to-window swings); measure it with
-# bench-compare instead.
-BENCH_ENGINES = IdleOpenLoopLowLoad|IdleBatchTail
+# engine comparisons plus the analytic estimator path (it runs before
+# every screened sweep, so it must stay cheap). ShardScaling and
+# SweepScreening are deliberately NOT gated — their wall time tracks the
+# host's parallel capacity, which shared runners do not hold constant
+# (observed ~2x window-to-window swings); measure them with bench-compare
+# instead.
+BENCH_ENGINES = IdleOpenLoopLowLoad|IdleBatchTail|AnalyticCurve
 TOLERANCE ?= 0.15
 
 # Performance gate: run the engine benchmarks, archive the JSON, and fail

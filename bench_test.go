@@ -8,6 +8,7 @@ package noceval
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"noceval/internal/closedloop"
@@ -604,4 +605,65 @@ func BenchmarkShardScaling(b *testing.B) {
 			benchShardScaling(b, shards)
 		})
 	}
+}
+
+// BenchmarkAnalyticCurve measures the entire analytic path the screening
+// layer runs before a sweep: compile the queueing estimator for the
+// baseline mesh, evaluate a 25-point latency curve, and bisect for the
+// saturation knee. Screening only pays because this costs a few
+// milliseconds (the curve and knee alone are microseconds; route sampling
+// dominates) against the hundreds of milliseconds of each simulated
+// sweep point.
+func BenchmarkAnalyticCurve(b *testing.B) {
+	rates := make([]float64, 25)
+	for i := range rates {
+		rates[i] = 0.02 * float64(i+1)
+	}
+	var knee float64
+	for i := 0; i < b.N; i++ {
+		est, err := core.AnalyticEstimator(core.Baseline())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = est.Curve(rates)
+		knee = est.Knee(3)
+	}
+	b.ReportMetric(knee, "knee-rate")
+}
+
+// benchSweepScreening sweeps a 64-node ring across rates that are mostly
+// beyond its ~0.1 saturation point. GOMAXPROCS is pinned to 8 so the
+// sweep's speculative wave is wide enough to launch the deep-saturation
+// rates an unscreened sweep wastes drain-limit cycles on; with screening
+// those rates never enter the wave (the reported results are identical —
+// see internal/openloop/screen.go).
+func benchSweepScreening(b *testing.B, screened bool) {
+	b.Helper()
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	p := core.Baseline()
+	p.Topology = "ring64"
+	rates := []float64{0.02, 0.04, 0.06, 0.08, 0.3, 0.4, 0.5, 0.6}
+	if screened {
+		core.EnableScreening()
+		defer core.DisableScreening()
+	}
+	opts := core.OpenLoopOpts{Warmup: 500, Measure: 1000, DrainLimit: 8000}
+	b.ResetTimer()
+	var pts int
+	for i := 0; i < b.N; i++ {
+		res, err := core.OpenLoopSweepWith(p, rates, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = len(res)
+	}
+	b.ReportMetric(float64(pts), "reported-points")
+}
+
+// BenchmarkSweepScreening compares an unscreened against an analytically
+// screened open-loop sweep on a saturation-heavy rate axis.
+func BenchmarkSweepScreening(b *testing.B) {
+	b.Run("screen=off", func(b *testing.B) { benchSweepScreening(b, false) })
+	b.Run("screen=on", func(b *testing.B) { benchSweepScreening(b, true) })
 }

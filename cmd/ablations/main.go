@@ -43,6 +43,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", ".expcache", "experiment cache directory (with -cache)")
 	ledgerPath := flag.String("ledger", "", "append one JSONL record per experiment run to this file")
 	serve := flag.String("serve", "", "serve live metrics on this address (e.g. :9500) while running")
+	screen := flag.Bool("screen", false, "analytically screen sweeps and saturation searches (output is bit-identical)")
 	flag.Parse()
 
 	// -serve installs the registry the other subsystems publish into, so it
@@ -68,6 +69,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if *screen {
+		core.EnableScreening()
 	}
 
 	var b strings.Builder
@@ -97,6 +101,11 @@ func main() {
 	}
 	if s, ok := core.CacheStats(); ok {
 		fmt.Printf("\nexperiment cache: %s\n", s)
+	}
+	if *screen {
+		s := core.ScreeningSummary()
+		fmt.Printf("screening: simulated %d of %d sweep points (skipped %d, refined %d)\n",
+			s.Simulated, s.Considered, s.Skipped, s.Refined)
 	}
 	if *ledgerPath != "" {
 		fmt.Printf("run ledger: %d records appended to %s\n", core.LedgerAppends(), *ledgerPath)
@@ -302,8 +311,14 @@ func ablationISLIP(w *strings.Builder) error {
 func ablationAnalytic(w *strings.Builder) error {
 	topo := topology.NewMesh(8, 8)
 	model := analytic.Model{Topo: topo, Routing: routing.DOR{}, RouterDelay: 1}
-	t0 := model.ZeroLoadLatency(traffic.Uniform{}, 1)
-	thetaA, gamma := model.ChannelBound(traffic.Uniform{})
+	t0, err := model.ZeroLoadLatency(traffic.Uniform{}, 1)
+	if err != nil {
+		return err
+	}
+	thetaA, gamma, err := model.ChannelBound(traffic.Uniform{})
+	if err != nil {
+		return err
+	}
 
 	p := core.Baseline()
 	simT0, err := core.OpenLoop(p, 0.01)
@@ -316,10 +331,23 @@ func ablationAnalytic(w *strings.Builder) error {
 	}
 	pat, _ := p.BuildPattern()
 	sizes, _ := p.BuildSizes()
-	simSat, err := openloop.Saturation(openloop.Config{
+	satCfg := openloop.Config{
 		Net: cfg, Pattern: pat, Sizes: sizes,
 		Warmup: 2000, Measure: 3000, DrainLimit: 20000, Seed: 1,
-	}, 0.1, 0.6, 3)
+	}
+	var simSat float64
+	if core.ScreeningEnabled() {
+		// Seed the bisection with the queueing knee: the search verifies a
+		// narrow band around the prediction first and only widens on a
+		// contradiction, so an accurate knee saves most of the probes.
+		est, estErr := core.AnalyticEstimator(p)
+		if estErr != nil {
+			return estErr
+		}
+		simSat, err = openloop.SaturationScreenedWith(satCfg, 0.1, 0.6, 3, est.Knee(3), openloop.Run)
+	} else {
+		simSat, err = openloop.Saturation(satCfg, 0.1, 0.6, 3)
+	}
 	if err != nil {
 		return err
 	}

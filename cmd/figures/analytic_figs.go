@@ -1,0 +1,167 @@
+package main
+
+// Analytic-model figures: the correlation between the contention-aware
+// queueing estimator of internal/analytic and full simulation, in the
+// style of the paper's Fig 5 model-vs-model scatter. Each point is one
+// (configuration, offered load) pair plotted at (analytic latency,
+// simulated latency); a perfect model puts every point on y = x. The
+// offered loads are deterministic fractions of each configuration's
+// predicted saturation knee, so the sweep stays in the pre-saturation
+// region where the M/G/1 waiting-time model is meaningful.
+//
+// The same point set backs the accuracy regression test in
+// analytic_corr_test.go: the figure is the artifact, the test is the gate.
+
+import (
+	"fmt"
+	"math"
+
+	"noceval/internal/core"
+	"noceval/internal/stats"
+)
+
+func init() {
+	register("analytic-corr", analyticCorr)
+}
+
+// corrConfig names one network configuration the correlation covers.
+type corrConfig struct {
+	name string
+	p    core.NetworkParams
+}
+
+// corrConfigs spans the topologies and routing algorithms the estimator
+// models: minimal and randomized routing on the mesh and torus, plus the
+// ring where the long average route saturates an order of magnitude
+// earlier.
+func corrConfigs() []corrConfig {
+	mk := func(topo, routing string, vcs int) corrConfig {
+		p := core.Baseline()
+		p.Topology = topo
+		p.Routing = routing
+		if vcs > 0 {
+			p.VCs = vcs
+		}
+		return corrConfig{name: topo + "/" + routing, p: p}
+	}
+	return []corrConfig{
+		mk("mesh8x8", "dor", 0),
+		mk("torus8x8", "dor", 0),
+		mk("ring64", "dor", 0),
+		mk("mesh8x8", "val", 4),
+		mk("torus8x8", "val", 4),
+	}
+}
+
+// corrFractions places the sample loads along each configuration's own
+// latency curve: from near zero-load to just under the predicted knee.
+var corrFractions = []float64{0.25, 0.5, 0.75, 0.9}
+
+// corrPoint pairs the analytic prediction with the simulated measurement
+// at one offered load of one configuration.
+type corrPoint struct {
+	config    string
+	rate      float64
+	predicted float64
+	simulated float64
+}
+
+// relErr is the point's relative error against the simulation.
+func (p corrPoint) relErr() float64 {
+	return math.Abs(p.predicted-p.simulated) / p.simulated
+}
+
+// corrPoints simulates each configuration at the given fractions of its
+// predicted saturation knee and pairs the results with the estimator's
+// latency predictions. Unstable points (the prediction overshot the real
+// saturation) are dropped: the comparison is defined pre-saturation only.
+func corrPoints(configs []corrConfig, fractions []float64, opts core.OpenLoopOpts) ([]corrPoint, error) {
+	var out []corrPoint
+	for _, c := range configs {
+		est, err := core.AnalyticEstimator(c.p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		knee := est.Knee(3)
+		if knee <= 0 || math.IsInf(knee, 1) {
+			return nil, fmt.Errorf("%s: estimator found no saturation knee", c.name)
+		}
+		rates := make([]float64, len(fractions))
+		for i, f := range fractions {
+			rates[i] = f * knee
+		}
+		results, err := core.OpenLoopSweepWith(c.p, rates, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		for i, r := range results {
+			if !r.Stable {
+				break
+			}
+			out = append(out, corrPoint{
+				config:    c.name,
+				rate:      rates[i],
+				predicted: est.Latency(rates[i]),
+				simulated: r.AvgLatency,
+			})
+		}
+	}
+	return out, nil
+}
+
+// meanRelErr is the mean relative error of the point set.
+func meanRelErr(pts []corrPoint) float64 {
+	if len(pts) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += p.relErr()
+	}
+	return sum / float64(len(pts))
+}
+
+// analyticCorr renders the correlation scatter and the per-configuration
+// accuracy notes.
+func analyticCorr(c *ctx) error {
+	opts := core.OpenLoopOpts{Warmup: 2000, Measure: 3000, DrainLimit: 20000}
+	if c.full {
+		opts = core.OpenLoopOpts{} // paper-scale phases
+	}
+	configs := corrConfigs()
+	pts, err := corrPoints(configs, corrFractions, opts)
+	if err != nil {
+		return err
+	}
+	if len(pts) == 0 {
+		return fmt.Errorf("analytic-corr: no stable pre-saturation points")
+	}
+
+	f := stats.NewFigure("Analytic queueing estimator vs simulation (pre-saturation)",
+		"analytic latency (cycles)", "simulated latency (cycles)")
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	byConfig := map[string][]corrPoint{}
+	for _, p := range pts {
+		byConfig[p.config] = append(byConfig[p.config], p)
+		lo = min(lo, min(p.predicted, p.simulated))
+		hi = max(hi, max(p.predicted, p.simulated))
+	}
+	ident := f.AddSeries("y = x")
+	ident.Add(lo, lo)
+	ident.Add(hi, hi)
+	for _, cfg := range configs {
+		group := byConfig[cfg.name]
+		if len(group) == 0 {
+			continue
+		}
+		s := f.AddSeries(cfg.name)
+		for _, p := range group {
+			s.Add(p.predicted, p.simulated)
+		}
+		f.Note("%s: %d points, mean relative error %.1f%%", cfg.name, len(group), 100*meanRelErr(group))
+	}
+	f.Note("overall: %d points, mean relative error %.1f%%", len(pts), 100*meanRelErr(pts))
+	f.Note("loads are {%.2g..%.2g} x each config's predicted knee; unstable points dropped", corrFractions[0], corrFractions[len(corrFractions)-1])
+	return c.writeFigure("analytic_corr", f)
+}

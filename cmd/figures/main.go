@@ -93,6 +93,7 @@ func main() {
 		ledger   = flag.String("ledger", "", "append one JSONL record per experiment run to this file")
 		serve    = flag.String("serve", "", "serve live metrics on this address (e.g. :9500) while generating")
 		report   = flag.String("report", "", "summarize a run ledger file into a dashboard table and exit")
+		screen   = flag.Bool("screen", false, "analytically screen sweeps: skip predicted deep-saturation simulations (output is bit-identical)")
 	)
 	flag.Parse()
 
@@ -132,6 +133,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if *screen {
+		core.EnableScreening()
 	}
 	c := &ctx{out: *out, full: *full}
 
@@ -188,6 +192,11 @@ func main() {
 	}
 	if s, ok := core.CacheStats(); ok {
 		fmt.Printf("experiment cache: %s\n", s)
+	}
+	if *screen {
+		s := core.ScreeningSummary()
+		fmt.Printf("screening: simulated %d of %d sweep points (skipped %d, refined %d)\n",
+			s.Simulated, s.Considered, s.Skipped, s.Refined)
 	}
 	if *ledger != "" {
 		fmt.Printf("run ledger: %d records appended to %s\n", core.LedgerAppends(), *ledger)

@@ -220,10 +220,15 @@ func cmdSweep(args []string) error {
 	p := netFlags(fs)
 	hi := fs.Float64("hi", 0.5, "highest offered load")
 	step := fs.Float64("step", 0.02, "load step")
+	screen := fs.Bool("screen", false, "analytically screen the sweep: skip predicted deep-saturation simulations (output is bit-identical)")
 	fo := faultFlags(fs)
 	oo := obsFlags(fs, false)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *screen {
+		core.EnableScreening()
+		defer core.DisableScreening()
 	}
 	p.Fault = fo.build()
 	if err := oo.setup(); err != nil {
@@ -248,6 +253,11 @@ func cmdSweep(args []string) error {
 	fmt.Printf("%10s %12s %12s %8s\n", "offered", "avg latency", "accepted", "stable")
 	for _, r := range results {
 		fmt.Printf("%10.3f %12.2f %12.3f %8v\n", r.Rate, r.AvgLatency, r.Accepted, r.Stable)
+	}
+	if *screen {
+		s := core.ScreeningSummary()
+		fmt.Printf("screening: simulated %d of %d sweep points (skipped %d, refined %d)\n",
+			s.Simulated, s.Considered, s.Skipped, s.Refined)
 	}
 	return nil
 }

@@ -27,7 +27,10 @@ func TestOpenLoopMatchesAnalyticZeroLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	model := analytic.Model{Topo: topology.NewMesh(8, 8), Routing: routing.DOR{}, RouterDelay: 1}
-	want := model.ZeroLoadLatency(traffic.Uniform{}, 1)
+	want, err := model.ZeroLoadLatency(traffic.Uniform{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// At 1% load queueing is negligible: simulation within 10% of theory.
 	if sim.AvgLatency < want*0.9 || sim.AvgLatency > want*1.15 {
 		t.Errorf("simulated zero-load %.2f vs analytic %.2f", sim.AvgLatency, want)
@@ -36,7 +39,10 @@ func TestOpenLoopMatchesAnalyticZeroLoad(t *testing.T) {
 
 func TestSimulatedSaturationBelowChannelBound(t *testing.T) {
 	model := analytic.Model{Topo: topology.NewMesh(8, 8), Routing: routing.DOR{}, RouterDelay: 1}
-	bound, _ := model.ChannelBound(traffic.Uniform{})
+	bound, _, err := model.ChannelBound(traffic.Uniform{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p := core.Baseline()
 	res, err := core.OpenLoop(p, 0.9) // overload: accepted = capacity
 	if err != nil {

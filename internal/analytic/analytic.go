@@ -30,38 +30,32 @@ type Model struct {
 }
 
 // trafficWeights returns W[s][d]: the probability a packet from s targets
-// d. Stochastic patterns are detected by name; permutations get weight 1.
-func trafficWeights(p traffic.Pattern, n int) [][]float64 {
-	w := make([][]float64, n)
-	switch p.(type) {
-	case traffic.Uniform:
-		for s := range w {
-			w[s] = make([]float64, n)
-			for d := range w[s] {
-				w[s][d] = 1 / float64(n)
-			}
-		}
-	case traffic.UniformNoSelf:
-		for s := range w {
-			w[s] = make([]float64, n)
-			for d := range w[s] {
-				if d != s {
-					w[s][d] = 1 / float64(n-1)
-				}
-			}
-		}
-	default:
-		for s := range w {
-			w[s] = make([]float64, n)
-			w[s][p.Dest(nil, s, n)] = 1
-		}
+// d. The distribution is obtained structurally from the pattern's
+// traffic.Weighted implementation; a pattern that does not implement it
+// (e.g. an out-of-tree stochastic pattern) is an error — sampling Dest once
+// and treating the result as a permutation would silently mis-model it.
+func trafficWeights(p traffic.Pattern, n int) ([][]float64, error) {
+	wp, ok := p.(traffic.Weighted)
+	if !ok {
+		return nil, fmt.Errorf("analytic: pattern %q does not expose destination weights (implement traffic.Weighted)", p.Name())
 	}
-	return w
+	w := make([][]float64, n)
+	for s := range w {
+		row := wp.DestWeights(s, n)
+		if len(row) != n {
+			return nil, fmt.Errorf("analytic: pattern %q returned %d weights for %d nodes", p.Name(), len(row), n)
+		}
+		w[s] = row
+	}
+	return w, nil
 }
 
 // AverageHops returns the mean minimal hop count under the pattern.
-func AverageHops(t *topology.Topology, p traffic.Pattern) float64 {
-	w := trafficWeights(p, t.N)
+func AverageHops(t *topology.Topology, p traffic.Pattern) (float64, error) {
+	w, err := trafficWeights(p, t.N)
+	if err != nil {
+		return 0, err
+	}
 	sum := 0.0
 	for s := 0; s < t.N; s++ {
 		for d := 0; d < t.N; d++ {
@@ -70,36 +64,41 @@ func AverageHops(t *topology.Topology, p traffic.Pattern) float64 {
 			}
 		}
 	}
-	return sum / float64(t.N)
+	return sum / float64(t.N), nil
 }
 
 // ZeroLoadLatency estimates the average packet latency at vanishing load:
 // per-hop cost (tr + channel delay) times the average route length, plus
 // the final ejection pipeline (tr) and the serialization latency of the
 // packet body. Randomized algorithms average over sampled routes.
-func (m Model) ZeroLoadLatency(p traffic.Pattern, packetFlits int) float64 {
-	loads, avgWeighted := m.routeAnalysis(p)
-	_ = loads
-	return avgWeighted + float64(m.RouterDelay) + float64(packetFlits-1)
+func (m Model) ZeroLoadLatency(p traffic.Pattern, packetFlits int) (float64, error) {
+	_, avgWeighted, err := m.routeAnalysis(p)
+	if err != nil {
+		return 0, err
+	}
+	return avgWeighted + float64(m.RouterDelay) + float64(packetFlits-1), nil
 }
 
 // ChannelBound estimates the saturation throughput in flits/cycle/node:
 // the offered load at which the most-loaded channel reaches unit
 // utilization. gammaMax is the expected flits crossing the busiest channel
 // per injected flit per node.
-func (m Model) ChannelBound(p traffic.Pattern) (thetaSat, gammaMax float64) {
-	loads, _ := m.routeAnalysis(p)
+func (m Model) ChannelBound(p traffic.Pattern) (thetaSat, gammaMax float64, err error) {
+	loads, _, err := m.routeAnalysis(p)
+	if err != nil {
+		return 0, 0, err
+	}
 	for _, l := range loads {
 		if l > gammaMax {
 			gammaMax = l
 		}
 	}
 	if gammaMax == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
 	// Channel bandwidth is 1 flit/cycle; N nodes inject theta each, and a
 	// channel carrying gammaMax*N*theta flits/cycle saturates at 1.
-	return 1 / (gammaMax * float64(m.Topo.N)), gammaMax
+	return 1 / (gammaMax * float64(m.Topo.N)), gammaMax, nil
 }
 
 // routeAnalysis walks every weighted source/destination pair under the
@@ -107,10 +106,13 @@ func (m Model) ChannelBound(p traffic.Pattern) (thetaSat, gammaMax float64) {
 // injected flit per node, normalized so a node injecting theta flits/cycle
 // puts gamma*N*theta flits/cycle on a channel of load gamma) and the
 // weighted average path cost in cycles (hops * (tr + channel delay)).
-func (m Model) routeAnalysis(p traffic.Pattern) (channelLoads map[[2]int]float64, avgPathCycles float64) {
+func (m Model) routeAnalysis(p traffic.Pattern) (channelLoads map[[2]int]float64, avgPathCycles float64, err error) {
 	t := m.Topo
 	n := t.N
-	w := trafficWeights(p, n)
+	w, err := trafficWeights(p, n)
+	if err != nil {
+		return nil, 0, err
+	}
 	samples := m.Samples
 	if samples < 1 {
 		samples = 16
@@ -139,7 +141,7 @@ func (m Model) routeAnalysis(p traffic.Pattern) (channelLoads map[[2]int]float64
 		channelLoads[k] /= float64(n)
 	}
 	avgPathCycles /= totalW
-	return channelLoads, avgPathCycles
+	return channelLoads, avgPathCycles, nil
 }
 
 // walk routes one packet, adding weight to every channel crossed, and

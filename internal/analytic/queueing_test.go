@@ -1,0 +1,146 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"noceval/internal/routing"
+	"noceval/internal/topology"
+	"noceval/internal/traffic"
+)
+
+func meshEstimator(t *testing.T) *Estimator {
+	t.Helper()
+	m := Model{Topo: topology.NewMesh(8, 8), Routing: routing.DOR{}, RouterDelay: 1}
+	e, err := m.NewEstimator(traffic.Uniform{}, traffic.FixedSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEstimatorZeroLoadMatchesModel(t *testing.T) {
+	m := Model{Topo: topology.NewMesh(8, 8), Routing: routing.DOR{}, RouterDelay: 1}
+	e := meshEstimator(t)
+	want, err := m.ZeroLoadLatency(traffic.Uniform{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.T0-want) > 1e-9 {
+		t.Errorf("estimator T0 = %v, model zero-load = %v", e.T0, want)
+	}
+	if got := e.Latency(0); math.Abs(got-e.T0) > 1e-9 {
+		t.Errorf("Latency(0) = %v, want T0 %v", got, e.T0)
+	}
+}
+
+func TestEstimatorSatRateMatchesChannelBound(t *testing.T) {
+	m := Model{Topo: topology.NewMesh(8, 8), Routing: routing.DOR{}, RouterDelay: 1}
+	e := meshEstimator(t)
+	bound, _, err := m.ChannelBound(traffic.Uniform{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.SatRate-bound) > 1e-9 {
+		t.Errorf("estimator SatRate = %v, channel bound = %v", e.SatRate, bound)
+	}
+	if !math.IsInf(e.Latency(e.SatRate), 1) {
+		t.Error("latency at SatRate should be +Inf")
+	}
+	if !math.IsInf(e.Latency(1), 1) {
+		t.Error("latency beyond SatRate should be +Inf")
+	}
+}
+
+func TestEstimatorLatencyMonotone(t *testing.T) {
+	e := meshEstimator(t)
+	prev := 0.0
+	for _, r := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.45} {
+		l := e.Latency(r)
+		if l <= prev {
+			t.Fatalf("latency not increasing: T(%v) = %v after %v", r, l, prev)
+		}
+		if math.IsInf(l, 1) {
+			t.Fatalf("latency at %v (below SatRate %v) is +Inf", r, e.SatRate)
+		}
+		prev = l
+	}
+}
+
+func TestEstimatorKnee(t *testing.T) {
+	e := meshEstimator(t)
+	knee := e.Knee(3)
+	if knee <= 0 || knee >= e.SatRate {
+		t.Fatalf("knee %v outside (0, SatRate=%v)", knee, e.SatRate)
+	}
+	// At the knee the predicted latency equals the cap by construction.
+	if l := e.Latency(knee); math.Abs(l-3*e.T0) > 0.05*e.T0 {
+		t.Errorf("latency at knee = %v, want ~%v", l, 3*e.T0)
+	}
+	// A tighter cap saturates earlier.
+	if k2 := e.Knee(2); k2 >= knee {
+		t.Errorf("knee(cap=2) %v not below knee(cap=3) %v", k2, knee)
+	}
+}
+
+func TestEstimatorDeterministic(t *testing.T) {
+	// Map iteration must not leak into the result: two builds of the same
+	// model produce bit-identical curves.
+	a, b := meshEstimator(t), meshEstimator(t)
+	for _, r := range []float64{0.1, 0.25, 0.4} {
+		if a.Latency(r) != b.Latency(r) {
+			t.Fatalf("estimator not deterministic at rate %v", r)
+		}
+	}
+}
+
+func TestEstimatorBimodalRaisesWaiting(t *testing.T) {
+	// Longer, more variable packets mean strictly more queueing at equal
+	// flit load (E[S^2] grows), on top of a higher serialization T0.
+	m := Model{Topo: topology.NewMesh(8, 8), Routing: routing.DOR{}, RouterDelay: 1}
+	single, err := m.NewEstimator(traffic.Uniform{}, traffic.FixedSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bimodal, err := m.NewEstimator(traffic.Uniform{}, traffic.DefaultBimodal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := 0.3
+	if (bimodal.Latency(r) - bimodal.T0) <= (single.Latency(r) - single.T0) {
+		t.Errorf("bimodal queueing delay %v not above single-flit %v",
+			bimodal.Latency(r)-bimodal.T0, single.Latency(r)-single.T0)
+	}
+}
+
+func TestEstimatorRingSaturatesEarly(t *testing.T) {
+	// A 64-node ring under uniform traffic is bisection-starved; the
+	// estimator must predict saturation far below the mesh's.
+	ring := Model{Topo: topology.NewRing(64), Routing: routing.DOR{}, RouterDelay: 1}
+	e, err := ring.NewEstimator(traffic.Uniform{}, traffic.FixedSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := meshEstimator(t)
+	if e.SatRate >= mesh.SatRate/2 {
+		t.Errorf("ring SatRate %v not well below mesh %v", e.SatRate, mesh.SatRate)
+	}
+	if k := e.Knee(3); k <= 0 || k >= e.SatRate {
+		t.Errorf("ring knee %v outside (0, %v)", k, e.SatRate)
+	}
+}
+
+func TestEstimatorCurve(t *testing.T) {
+	e := meshEstimator(t)
+	rates := []float64{0.1, 0.3, 0.9}
+	pts := e.Curve(rates)
+	if len(pts) != 3 {
+		t.Fatalf("curve has %d points", len(pts))
+	}
+	if pts[0].MaxUtil >= pts[1].MaxUtil {
+		t.Error("utilization not increasing along the curve")
+	}
+	if !math.IsInf(pts[2].Latency, 1) {
+		t.Error("curve point beyond SatRate should be +Inf")
+	}
+}

@@ -161,15 +161,23 @@ func OpenLoopSweep(p NetworkParams, rates []float64) ([]*openloop.Result, error)
 // OpenLoopSweepWith is OpenLoopSweep with explicit phase lengths. Each
 // point goes through the experiment cache individually inside the sweep's
 // parallel waves, so a warm sweep costs only disk reads while a cold one
-// still fans out across cores.
+// still fans out across cores. With screening enabled (EnableScreening),
+// predicted deep-saturation rates are kept out of the waves entirely; the
+// reported results are bit-identical either way (see screen.go).
 func OpenLoopSweepWith(p NetworkParams, rates []float64, o OpenLoopOpts) ([]*openloop.Result, error) {
 	cfg, err := openLoopConfig(p, o)
 	if err != nil {
 		return nil, err
 	}
-	return openloop.SweepWith(cfg, rates, func(c openloop.Config) (*openloop.Result, error) {
+	runner := func(c openloop.Config) (*openloop.Result, error) {
 		return openLoopCached(p, c)
-	})
+	}
+	if scr := screenPlan(p); scr != nil {
+		res, err := openloop.SweepScreenedWith(cfg, rates, runner, scr)
+		recordScreen(p, scr.Stats)
+		return res, err
+	}
+	return openloop.SweepWith(cfg, rates, runner)
 }
 
 // BatchParams are the closed-loop batch-model knobs layered on top of the

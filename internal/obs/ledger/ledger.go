@@ -94,6 +94,15 @@ type Record struct {
 	// Omitted for sequential runs.
 	Shards         int     `json:"shards,omitempty"`
 	ShardImbalance float64 `json:"shard_imbalance,omitempty"`
+	// Screening outcome of an analytically screened sweep (kind "sweep"):
+	// how many offered-load points the sweep was asked for, how many were
+	// actually simulated, how many speculative deep-saturation runs the
+	// analytic model screened out, and how many deferred points had to be
+	// refined (simulated after all). Omitted for unscreened runs.
+	ScreenConsidered int `json:"screen_considered,omitempty"`
+	ScreenSimulated  int `json:"screen_simulated,omitempty"`
+	ScreenSkipped    int `json:"screen_skipped,omitempty"`
+	ScreenRefined    int `json:"screen_refined,omitempty"`
 	// Err records a failed execution's error text.
 	Err string `json:"err,omitempty"`
 

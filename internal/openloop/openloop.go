@@ -409,12 +409,17 @@ func SweepWith(cfg Config, rates []float64, run func(Config) (*Result, error)) (
 // ZeroLoad measures the zero-load latency T0: the average latency at a
 // vanishing offered load where queueing is negligible.
 func ZeroLoad(cfg Config) (float64, error) {
+	return ZeroLoadWith(cfg, Run)
+}
+
+// ZeroLoadWith is ZeroLoad with a pluggable runner (see SweepWith).
+func ZeroLoadWith(cfg Config, run func(Config) (*Result, error)) (float64, error) {
 	c := cfg
 	c.Rate = 0.005
 	c.fillDefaults()
 	c.Warmup = 2000
 	c.Measure = 20000
-	res, err := Run(c)
+	res, err := run(c)
 	if err != nil {
 		return 0, err
 	}
@@ -427,23 +432,47 @@ func ZeroLoad(cfg Config) (float64, error) {
 // saturation as the load where latency approaches infinity; a finite
 // multiple (conventionally 3x) makes the measurement robust.
 func Saturation(cfg Config, lo, hi, latencyCap float64) (float64, error) {
-	if latencyCap <= 1 {
-		latencyCap = 3
-	}
-	t0, err := ZeroLoad(cfg)
+	return SaturationWith(cfg, lo, hi, latencyCap, Run)
+}
+
+// SaturationWith is Saturation with a pluggable runner (see SweepWith).
+func SaturationWith(cfg Config, lo, hi, latencyCap float64, run func(Config) (*Result, error)) (float64, error) {
+	stableAt, err := stableProbe(cfg, latencyCap, run)
 	if err != nil {
 		return 0, err
 	}
+	return bisectSaturation(stableAt, lo, hi)
+}
+
+// stableProbe measures the zero-load latency and returns the bisection
+// predicate: is the given offered load stable with average latency below
+// latencyCap times T0?
+func stableProbe(cfg Config, latencyCap float64, run func(Config) (*Result, error)) (func(float64) (bool, error), error) {
+	if latencyCap <= 1 {
+		latencyCap = 3
+	}
+	t0, err := ZeroLoadWith(cfg, run)
+	if err != nil {
+		return nil, err
+	}
 	limit := latencyCap * t0
-	stableAt := func(rate float64) (bool, error) {
+	return func(rate float64) (bool, error) {
 		c := cfg
 		c.Rate = rate
-		res, err := Run(c)
+		res, err := run(c)
 		if err != nil {
 			return false, err
 		}
 		return res.Stable && res.AvgLatency <= limit, nil
-	}
+	}, nil
+}
+
+// bisectSaturation runs the standard bisection over [lo, hi]: it returns
+// the largest probed stable load. Degenerate brackets behave as the loop
+// bound implies: lo == hi (or a bracket already narrower than the 0.005
+// resolution) probes nothing and returns lo; an all-stable bracket
+// converges to hi, an all-unstable one stays at lo.
+func bisectSaturation(stableAt func(float64) (bool, error), lo, hi float64) (float64, error) {
 	for i := 0; i < 12 && hi-lo > 0.005; i++ {
 		mid := (lo + hi) / 2
 		ok, err := stableAt(mid)

@@ -1,0 +1,191 @@
+package openloop
+
+// Analytic sweep screening. A sweep's parallel waves speculate beyond the
+// saturation point: when the first unstable rate lands mid-wave, every
+// higher rate in that wave has already been launched, and each of those
+// runs burns a full DrainLimit of deeply saturated cycles before being
+// discarded — by far the most expensive points of the sweep. Screening
+// uses an analytic prediction of the saturation point (internal/analytic's
+// queueing estimator, wired up by internal/core) to keep those rates out
+// of the waves in the first place.
+//
+// Soundness: every result a sweep *reports* — the stable prefix and the
+// first unstable point — is always a genuine simulation; screening only
+// decides whether a rate is worth launching speculatively. A deferred rate
+// that the sweep actually reaches (every lower rate was stable) is
+// simulated on demand, exactly as the serial loop would have ("refined"),
+// so a mispredicted cut costs time, never correctness. The returned slice
+// is therefore bit-identical to SweepWith's for every input.
+
+import (
+	"runtime"
+
+	"noceval/internal/par"
+)
+
+// Screen is an analytic screening plan for one sweep.
+type Screen struct {
+	// Cut is the offered load (flits/cycle/node) above which the analytic
+	// model predicts deep saturation. Rates above Cut are not launched in
+	// parallel waves; they are simulated only if the sweep reaches them.
+	// A zero or negative Cut disables screening.
+	Cut float64
+	// Stats, when non-nil, accumulates the screening outcome.
+	Stats *ScreenStats
+}
+
+// ScreenStats counts how a screened sweep's rates were handled.
+type ScreenStats struct {
+	// Considered is the total number of rates the sweep was asked for.
+	Considered int
+	// Simulated counts rates actually run (launched or refined).
+	Simulated int
+	// Screened counts rates a plain SweepWith would have launched
+	// speculatively but screening avoided simulating entirely.
+	Screened int
+	// Refined counts deferred rates the sweep reached and had to simulate
+	// after all — the analytic cut was below the true saturation point.
+	Refined int
+}
+
+// add accumulates o into s.
+func (s *ScreenStats) add(o ScreenStats) {
+	s.Considered += o.Considered
+	s.Simulated += o.Simulated
+	s.Screened += o.Screened
+	s.Refined += o.Refined
+}
+
+// SweepScreenedWith is SweepWith with analytic screening: rates above
+// scr.Cut are excluded from the parallel waves and simulated only when the
+// sweep genuinely reaches them. The returned results are bit-identical to
+// SweepWith's (see the package comment on soundness); only the set of
+// discarded speculative runs changes. A nil scr (or non-positive Cut)
+// degrades to plain SweepWith.
+func SweepScreenedWith(cfg Config, rates []float64, run func(Config) (*Result, error), scr *Screen) ([]*Result, error) {
+	if scr == nil || scr.Cut <= 0 {
+		return SweepWith(cfg, rates, run)
+	}
+	deferred := make([]bool, len(rates))
+	for i, r := range rates {
+		deferred[i] = r > scr.Cut
+	}
+	wave := runtime.GOMAXPROCS(0)
+	if wave < 1 {
+		wave = 1
+	}
+
+	var st ScreenStats
+	st.Considered = len(rates)
+	lastHi := 0 // upper bound (exclusive) of the last wave entered
+	defer func() {
+		// Screened = deferred rates inside the waves the sweep entered
+		// (those a plain SweepWith would have launched) minus the ones
+		// refinement simulated anyway. Rates beyond lastHi are not counted:
+		// neither variant would have touched them.
+		for i := 0; i < lastHi; i++ {
+			if deferred[i] {
+				st.Screened++
+			}
+		}
+		st.Screened -= st.Refined
+		if scr.Stats != nil {
+			scr.Stats.add(st)
+		}
+	}()
+
+	var out []*Result
+	for lo := 0; lo < len(rates); lo += wave {
+		hi := min(lo+wave, len(rates))
+		lastHi = hi
+		results := make([]*Result, hi-lo)
+		launched := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			if !deferred[i] {
+				launched = append(launched, i)
+			}
+		}
+		waveErr := par.Parallel(len(launched), 0, func(k int) error {
+			i := launched[k]
+			c := cfg
+			c.Rate = rates[i]
+			res, err := run(c)
+			results[i-lo] = res
+			return err
+		})
+		st.Simulated += len(launched)
+		// Walk the wave in rate order, exactly like SweepWith: append up to
+		// the first failed or unstable point. A deferred rate reached here
+		// means every lower rate was stable — the serial loop would have
+		// simulated it, so refine it on demand.
+		for i := lo; i < hi; i++ {
+			res := results[i-lo]
+			if res == nil && deferred[i] {
+				c := cfg
+				c.Rate = rates[i]
+				r, err := run(c)
+				st.Simulated++
+				st.Refined++
+				if err != nil {
+					return out, err
+				}
+				res = r
+			}
+			if res == nil {
+				// A launched run in this wave failed; like SweepWith, report
+				// the prefix before it.
+				return out, waveErr
+			}
+			out = append(out, res)
+			if !res.Stable {
+				return out, nil
+			}
+		}
+		if waveErr != nil {
+			return out, waveErr
+		}
+	}
+	return out, nil
+}
+
+// SaturationScreenedWith is SaturationWith with an analytic prediction of
+// the saturation point: the bisection bracket is narrowed to a band around
+// predicted before probing, skipping the far-below-saturation probes a
+// full-width bisection spends most of its runs on. Both band edges are
+// verified by simulation; an edge that contradicts the prediction falls
+// back to the corresponding side of the caller's original bracket, so a
+// mispredicted band costs extra probes, never a wrong answer beyond the
+// bisection's own resolution. The probes themselves are never reported to
+// callers, which is why skipping them — unlike sweep points — is sound at
+// any band width. A non-positive predicted value degrades to SaturationWith.
+func SaturationScreenedWith(cfg Config, lo, hi, latencyCap, predicted float64, run func(Config) (*Result, error)) (float64, error) {
+	// The band half-width (±15%) trades the two edge-verification probes
+	// against the bisection probes they replace; the edge verification
+	// below makes the exact width a performance knob only.
+	aLo := max(lo, 0.85*predicted)
+	aHi := min(hi, 1.15*predicted)
+	if predicted <= 0 || aLo >= aHi {
+		return SaturationWith(cfg, lo, hi, latencyCap, run)
+	}
+	stableAt, err := stableProbe(cfg, latencyCap, run)
+	if err != nil {
+		return 0, err
+	}
+	okLo, err := stableAt(aLo)
+	if err != nil {
+		return 0, err
+	}
+	if !okLo {
+		// Saturation lies below the band: resume on the caller's lower side.
+		return bisectSaturation(stableAt, lo, aLo)
+	}
+	okHi, err := stableAt(aHi)
+	if err != nil {
+		return 0, err
+	}
+	if okHi {
+		// Saturation lies above the band: resume on the caller's upper side.
+		return bisectSaturation(stableAt, aHi, hi)
+	}
+	return bisectSaturation(stableAt, aLo, aHi)
+}

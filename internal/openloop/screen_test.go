@@ -1,0 +1,323 @@
+package openloop
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// fakeRunner records every simulated rate and fakes instability at or
+// above the given threshold.
+type fakeRunner struct {
+	mu       sync.Mutex
+	rates    []float64
+	unstable float64
+	failAt   float64 // rate that returns an error (0 = never)
+	err      error
+}
+
+func (f *fakeRunner) run(c Config) (*Result, error) {
+	f.mu.Lock()
+	f.rates = append(f.rates, c.Rate)
+	f.mu.Unlock()
+	if f.failAt > 0 && c.Rate == f.failAt {
+		return nil, f.err
+	}
+	return &Result{Rate: c.Rate, Stable: c.Rate < f.unstable, AvgLatency: 10 + 100*c.Rate}, nil
+}
+
+func (f *fakeRunner) simulated() []float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := append([]float64(nil), f.rates...)
+	sort.Float64s(out)
+	return out
+}
+
+// sameResults compares two sweeps point by point (the screening contract:
+// bit-identical output).
+func sameResults(t *testing.T, got, want []*Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("screened sweep returned %d results, unscreened %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Rate != want[i].Rate || got[i].Stable != want[i].Stable ||
+			got[i].AvgLatency != want[i].AvgLatency {
+			t.Errorf("point %d differs: screened %+v, unscreened %+v", i, *got[i], *want[i])
+		}
+	}
+}
+
+func TestScreenedSweepMatchesUnscreened(t *testing.T) {
+	rates := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	plain := &fakeRunner{unstable: 0.25}
+	want, err := SweepWith(Config{}, rates, plain.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	screened := &fakeRunner{unstable: 0.25}
+	st := &ScreenStats{}
+	got, err := SweepScreenedWith(Config{}, rates, screened.run, &Screen{Cut: 0.25, Stats: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, got, want)
+
+	// The first unstable rate (0.3) is above the cut, so it must have been
+	// refined — simulated on demand to preserve the serial contract.
+	if st.Refined < 1 {
+		t.Errorf("refined = %d, want >= 1 (first unstable rate is above the cut)", st.Refined)
+	}
+	// Deep-saturation rates past the first unstable point must never be
+	// simulated, whatever the wave width.
+	for _, r := range screened.simulated() {
+		if r > 0.3 {
+			t.Errorf("screened sweep simulated deep-saturation rate %v", r)
+		}
+	}
+	if st.Considered != len(rates) {
+		t.Errorf("considered = %d, want %d", st.Considered, len(rates))
+	}
+	if st.Simulated != len(screened.simulated()) {
+		t.Errorf("stats report %d simulations, runner saw %d", st.Simulated, len(screened.simulated()))
+	}
+}
+
+func TestScreenedSweepRefinesMispredictedCut(t *testing.T) {
+	// A cut far below the true saturation point defers rates the sweep
+	// genuinely needs; every one of them must be refined and the output
+	// must still match the unscreened sweep exactly.
+	rates := []float64{0.1, 0.2, 0.3, 0.4}
+	plain := &fakeRunner{unstable: 0.35}
+	want, err := SweepWith(Config{}, rates, plain.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	screened := &fakeRunner{unstable: 0.35}
+	st := &ScreenStats{}
+	got, err := SweepScreenedWith(Config{}, rates, screened.run, &Screen{Cut: 0.05, Stats: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, got, want)
+	if st.Refined != len(want) {
+		t.Errorf("refined = %d, want %d (every reported rate was deferred)", st.Refined, len(want))
+	}
+	if st.Screened < 0 {
+		t.Errorf("screened count went negative: %d", st.Screened)
+	}
+}
+
+func TestScreenedSweepAllStable(t *testing.T) {
+	// No instability anywhere: every rate is reported, so deferred rates
+	// are all refined and nothing may be skipped.
+	rates := []float64{0.1, 0.2, 0.3, 0.4}
+	screened := &fakeRunner{unstable: 1}
+	st := &ScreenStats{}
+	got, err := SweepScreenedWith(Config{}, rates, screened.run, &Screen{Cut: 0.25, Stats: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rates) {
+		t.Fatalf("got %d results, want %d", len(got), len(rates))
+	}
+	if st.Screened != 0 {
+		t.Errorf("screened = %d, want 0 (every rate was reported)", st.Screened)
+	}
+	if st.Simulated != len(rates) {
+		t.Errorf("simulated = %d, want %d", st.Simulated, len(rates))
+	}
+}
+
+func TestScreenedSweepPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	// Error on a launched (below-cut) rate: the prefix before it is
+	// reported, like SweepWith.
+	f := &fakeRunner{unstable: 1, failAt: 0.2, err: boom}
+	out, err := SweepScreenedWith(Config{}, []float64{0.1, 0.2, 0.3}, f.run, &Screen{Cut: 0.9})
+	if !errors.Is(err, boom) {
+		t.Errorf("launched-rate error not propagated: %v", err)
+	}
+	if len(out) != 1 {
+		t.Errorf("got %d results before the failed rate, want 1", len(out))
+	}
+
+	// Error on a refined (deferred) rate propagates the same way.
+	f = &fakeRunner{unstable: 1, failAt: 0.3, err: boom}
+	out, err = SweepScreenedWith(Config{}, []float64{0.1, 0.2, 0.3}, f.run, &Screen{Cut: 0.25})
+	if !errors.Is(err, boom) {
+		t.Errorf("refined-rate error not propagated: %v", err)
+	}
+	if len(out) != 2 {
+		t.Errorf("got %d results before the failed refinement, want 2", len(out))
+	}
+}
+
+func TestScreenedSweepNilScreenDegrades(t *testing.T) {
+	rates := []float64{0.1, 0.2, 0.3}
+	a := &fakeRunner{unstable: 0.25}
+	want, _ := SweepWith(Config{}, rates, a.run)
+	b := &fakeRunner{unstable: 0.25}
+	got, err := SweepScreenedWith(Config{}, rates, b.run, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, got, want)
+}
+
+func TestScreenedSweepBitIdenticalRealSim(t *testing.T) {
+	// End-to-end soundness on the real simulator: a screened sweep over a
+	// bracket spanning saturation returns results bit-identical to the
+	// unscreened sweep, with the deep-saturation tail skipped.
+	cfg := Config{Net: meshConfig(1, 16), Seed: 11, Warmup: 500, Measure: 1000, DrainLimit: 8000}
+	rates := []float64{0.1, 0.2, 0.7, 0.8, 0.9}
+	want, err := SweepWith(cfg, rates, Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &ScreenStats{}
+	got, err := SweepScreenedWith(cfg, rates, Run, &Screen{Cut: 0.45, Stats: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("screened sweep returned %d results, unscreened %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].AvgLatency != want[i].AvgLatency ||
+			got[i].MeasuredPackets != want[i].MeasuredPackets ||
+			got[i].Stable != want[i].Stable ||
+			got[i].Accepted != want[i].Accepted {
+			t.Errorf("point %d (rate %.2f) differs: screened (%.6f, %d) vs unscreened (%.6f, %d)",
+				i, rates[i], got[i].AvgLatency, got[i].MeasuredPackets, want[i].AvgLatency, want[i].MeasuredPackets)
+		}
+	}
+	// The sweep stops at the first unstable rate (0.7, the first above the
+	// mesh's ~0.4 saturation), so 0.8 and 0.9 must have been screened out.
+	if want[len(want)-1].Stable {
+		t.Fatal("expected the sweep to end on an unstable point")
+	}
+	if st.Screened < 1 {
+		t.Errorf("screened = %d, want >= 1 (deep-saturation rates avoided)", st.Screened)
+	}
+}
+
+// stepRunner drives the saturation bisection with a synthetic stability
+// threshold: stable strictly below sat. The zero-load probe (rate 0.005)
+// reports latency 10, giving a 3x cap of 30 that the probe latencies stay
+// below so stability alone decides the bisection.
+type stepRunner struct {
+	sat   float64
+	calls int
+}
+
+func (s *stepRunner) run(c Config) (*Result, error) {
+	s.calls++
+	return &Result{Rate: c.Rate, Stable: c.Rate < s.sat, AvgLatency: 10}, nil
+}
+
+func TestSaturationWithAllStable(t *testing.T) {
+	r := &stepRunner{sat: 2}
+	got, err := SaturationWith(Config{}, 0.1, 0.6, 3, r.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every probe is stable: the bisection converges onto the upper edge.
+	if got < 0.59 || got > 0.6 {
+		t.Errorf("all-stable bisection = %v, want ~hi (0.6)", got)
+	}
+}
+
+func TestSaturationWithAllUnstable(t *testing.T) {
+	r := &stepRunner{sat: 0.01}
+	got, err := SaturationWith(Config{}, 0.1, 0.6, 3, r.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No probe is stable: lo is never advanced.
+	if got != 0.1 {
+		t.Errorf("all-unstable bisection = %v, want lo (0.1)", got)
+	}
+}
+
+func TestSaturationWithSingleRate(t *testing.T) {
+	r := &stepRunner{sat: 2}
+	got, err := SaturationWith(Config{}, 0.3, 0.3, 3, r.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.3 {
+		t.Errorf("degenerate bracket = %v, want 0.3", got)
+	}
+	// Only the zero-load probe ran; the empty bracket needs no bisection.
+	if r.calls != 1 {
+		t.Errorf("degenerate bracket made %d runs, want 1 (zero-load only)", r.calls)
+	}
+}
+
+func TestSaturationWithConverges(t *testing.T) {
+	r := &stepRunner{sat: 0.37}
+	got, err := SaturationWith(Config{}, 0.05, 0.7, 3, r.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.37-0.01 || got >= 0.37 {
+		t.Errorf("bisection = %v, want just below 0.37", got)
+	}
+}
+
+func TestSaturationScreenedFindsSameAnswer(t *testing.T) {
+	r := &stepRunner{sat: 0.37}
+	plainGot, err := SaturationWith(Config{}, 0.05, 0.7, 3, r.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainCalls := r.calls
+
+	for _, tc := range []struct {
+		name      string
+		predicted float64
+	}{
+		{"accurate", 0.38},
+		{"far-high", 0.65},
+		{"far-low", 0.1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &stepRunner{sat: 0.37}
+			got, err := SaturationScreenedWith(Config{}, 0.05, 0.7, 3, tc.predicted, s.run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Both searches must land within the bisection's own resolution
+			// of the true threshold; a mispredicted band may cost probes but
+			// never the answer.
+			if diff := got - plainGot; diff < -0.02 || diff > 0.02 {
+				t.Errorf("screened (predicted %v) = %v, unscreened = %v", tc.predicted, got, plainGot)
+			}
+			if tc.name == "accurate" && s.calls >= plainCalls {
+				t.Errorf("accurate prediction made %d probes, unscreened %d — screening saved nothing", s.calls, plainCalls)
+			}
+		})
+	}
+}
+
+func TestSaturationScreenedDegrades(t *testing.T) {
+	a := &stepRunner{sat: 0.37}
+	want, err := SaturationWith(Config{}, 0.05, 0.7, 3, a.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &stepRunner{sat: 0.37}
+	got, err := SaturationScreenedWith(Config{}, 0.05, 0.7, 3, 0, b.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || b.calls != a.calls {
+		t.Errorf("predicted=0 did not degrade to SaturationWith: got %v (%d calls), want %v (%d calls)",
+			got, b.calls, want, a.calls)
+	}
+}

@@ -24,6 +24,27 @@ type Pattern interface {
 	Dest(rng *sim.RNG, src, n int) int
 }
 
+// Weighted is the analytic-model view of a pattern: the full destination
+// distribution rather than one sampled destination. Every built-in pattern
+// implements it; the analytic package type-asserts for it so that unknown
+// stochastic patterns are rejected structurally instead of being silently
+// mis-modeled as permutations.
+type Weighted interface {
+	Pattern
+	// DestWeights returns w where w[d] is the probability that a packet
+	// injected at src in a network of n nodes targets node d. The returned
+	// slice has length n and sums to 1; callers must not mutate it beyond
+	// their own copy.
+	DestWeights(src, n int) []float64
+}
+
+// onehot returns a distribution putting all weight on d.
+func onehot(d, n int) []float64 {
+	w := make([]float64, n)
+	w[d] = 1
+	return w
+}
+
 // Uniform is uniform-random traffic: every node, including the source
 // itself, is an equally likely destination (the Dally & Towles convention).
 type Uniform struct{}
@@ -33,6 +54,15 @@ func (Uniform) Name() string { return "uniform" }
 
 // Dest implements Pattern.
 func (Uniform) Dest(rng *sim.RNG, src, n int) int { return rng.Intn(n) }
+
+// DestWeights implements Weighted.
+func (Uniform) DestWeights(_, n int) []float64 {
+	w := make([]float64, n)
+	for d := range w {
+		w[d] = 1 / float64(n)
+	}
+	return w
+}
 
 // UniformNoSelf is uniform-random traffic that never picks the source as
 // destination; request/reply workloads use it so every transaction crosses
@@ -54,6 +84,20 @@ func (UniformNoSelf) Dest(rng *sim.RNG, src, n int) int {
 	return d
 }
 
+// DestWeights implements Weighted.
+func (UniformNoSelf) DestWeights(src, n int) []float64 {
+	if n < 2 {
+		return onehot(src, n)
+	}
+	w := make([]float64, n)
+	for d := range w {
+		if d != src {
+			w[d] = 1 / float64(n-1)
+		}
+	}
+	return w
+}
+
 // Transpose sends from node (x, y) to node (y, x) on a square network:
 // with b address bits, the upper and lower halves of the node index are
 // swapped. n must be a power of four.
@@ -70,6 +114,9 @@ func (Transpose) Dest(_ *sim.RNG, src, n int) int {
 	return (src>>half)&mask | (src&mask)<<half
 }
 
+// DestWeights implements Weighted.
+func (p Transpose) DestWeights(src, n int) []float64 { return onehot(p.Dest(nil, src, n), n) }
+
 // BitComplement sends from node a to node ~a (mod n). n must be a power of
 // two.
 type BitComplement struct{}
@@ -82,6 +129,9 @@ func (BitComplement) Dest(_ *sim.RNG, src, n int) int {
 	log2(n) // validate the node count
 	return ^src & (n - 1)
 }
+
+// DestWeights implements Weighted.
+func (p BitComplement) DestWeights(src, n int) []float64 { return onehot(p.Dest(nil, src, n), n) }
 
 // BitReversal sends from node a to the node whose index has a's bits in
 // reverse order. n must be a power of two.
@@ -96,6 +146,9 @@ func (BitReversal) Dest(_ *sim.RNG, src, n int) int {
 	return int(bits.Reverse64(uint64(src)) >> (64 - b))
 }
 
+// DestWeights implements Weighted.
+func (p BitReversal) DestWeights(src, n int) []float64 { return onehot(p.Dest(nil, src, n), n) }
+
 // Shuffle sends from node a to the node obtained by rotating a's bits left
 // by one. n must be a power of two.
 type Shuffle struct{}
@@ -108,6 +161,9 @@ func (Shuffle) Dest(_ *sim.RNG, src, n int) int {
 	b := log2(n)
 	return (src<<1 | src>>(b-1)) & (n - 1)
 }
+
+// DestWeights implements Weighted.
+func (p Shuffle) DestWeights(src, n int) []float64 { return onehot(p.Dest(nil, src, n), n) }
 
 // Tornado sends halfway around each dimension of a kxk square network:
 // (x, y) -> (x + ceil(k/2) - 1 mod k, y). It is the classic adversarial
@@ -125,6 +181,9 @@ func (Tornado) Dest(_ *sim.RNG, src, n int) int {
 	return y*k + x
 }
 
+// DestWeights implements Weighted.
+func (p Tornado) DestWeights(src, n int) []float64 { return onehot(p.Dest(nil, src, n), n) }
+
 // Neighbor sends one hop in the +x direction with wraparound on a kxk
 // square network, the best case for any topology.
 type Neighbor struct{}
@@ -140,6 +199,9 @@ func (Neighbor) Dest(_ *sim.RNG, src, n int) int {
 	return y*k + x
 }
 
+// DestWeights implements Weighted.
+func (p Neighbor) DestWeights(src, n int) []float64 { return onehot(p.Dest(nil, src, n), n) }
+
 // Permutation wraps a fixed destination table as a Pattern, used for
 // replaying measured communication matrices.
 type Permutation struct {
@@ -152,6 +214,9 @@ func (p *Permutation) Name() string { return p.Label }
 
 // Dest implements Pattern.
 func (p *Permutation) Dest(_ *sim.RNG, src, n int) int { return p.Table[src] }
+
+// DestWeights implements Weighted.
+func (p *Permutation) DestWeights(src, n int) []float64 { return onehot(p.Table[src], n) }
 
 // ByName returns the built-in pattern with the given name.
 func ByName(name string) (Pattern, error) {
@@ -221,6 +286,10 @@ func (f FixedSize) Sample(_ *sim.RNG) int { return int(f) }
 // Mean implements SizeDist.
 func (f FixedSize) Mean() float64 { return float64(f) }
 
+// MeanSquare returns E[L²] for the queueing estimator's service-time
+// variance (see internal/analytic).
+func (f FixedSize) MeanSquare() float64 { return float64(f) * float64(f) }
+
 // Bimodal mixes two packet lengths, the paper's "1 flit and 4 flit" mix:
 // short control packets and long data packets.
 type Bimodal struct {
@@ -250,6 +319,12 @@ func (b Bimodal) Mean() float64 {
 	return b.PShort*float64(b.Short) + (1-b.PShort)*float64(b.Long)
 }
 
+// MeanSquare returns E[L²] for the queueing estimator's service-time
+// variance (see internal/analytic).
+func (b Bimodal) MeanSquare() float64 {
+	return b.PShort*float64(b.Short)*float64(b.Short) + (1-b.PShort)*float64(b.Long)*float64(b.Long)
+}
+
 // Hotspot sends a fraction of traffic to one hot node and the rest
 // uniformly: the classic memory-controller / accelerator contention
 // pattern.
@@ -269,6 +344,16 @@ func (h Hotspot) Dest(rng *sim.RNG, src, n int) int {
 		return h.Hot % n
 	}
 	return rng.Intn(n)
+}
+
+// DestWeights implements Weighted.
+func (h Hotspot) DestWeights(_, n int) []float64 {
+	w := make([]float64, n)
+	for d := range w {
+		w[d] = (1 - h.Fraction) / float64(n)
+	}
+	w[h.Hot%n] += h.Fraction
+	return w
 }
 
 // Process is the temporal side of open-loop traffic: it decides, cycle by
