@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check lint test race fuzz-smoke golden golden-update check bench bench-compare bench-gate bench-baseline obs-smoke screen-smoke figures ablations examples clean
+.PHONY: all build vet fmt-check lint test race fuzz-smoke golden golden-update check bench bench-compare bench-gate bench-baseline obs-smoke screen-smoke qos-smoke figures ablations examples clean
 
 all: build vet test
 
@@ -43,6 +43,7 @@ fuzz-smoke:
 	$(GO) test ./internal/expcache -fuzz=FuzzKeyCanonicalization -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/expcache -fuzz=FuzzKeyConfigSensitivity -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core -fuzz=FuzzClassSpec -fuzztime=$(FUZZTIME)
 
 # Golden-figure regression gate: regenerate the golden subset and compare
 # against the committed CSVs in results/golden (see cmd/figures/golden_test.go).
@@ -73,9 +74,20 @@ screen-smoke:
 	diff -r /tmp/noceval-screen-off /tmp/noceval-screen-on
 	@echo "screen-smoke: screened and unscreened golden figures are byte-identical"
 
+# QoS smoke: the tiny two-class gates — at the low-priority class's
+# saturation knee the high-priority p99 must stay below the low-priority
+# p99 (priority protection), and the priority-queueing estimator must
+# track the simulated per-class curves pre-saturation. QoS is opt-in, so
+# the class-free golden figures must stay byte-stable; the golden gate
+# re-runs here to enforce that pairing explicitly.
+qos-smoke:
+	$(GO) test ./cmd/figures -run 'TestQoSPriority' -count=1 -v
+	$(GO) test . -run 'TestQoS' -count=1
+	$(GO) test ./cmd/figures -run TestGoldenFigures -count=1
+
 # Tier-1 gate: everything that must stay green. The golden regression
 # test runs as part of `test` (cmd/figures); `golden` re-runs it verbosely.
-check: build vet fmt-check lint test race obs-smoke screen-smoke
+check: build vet fmt-check lint test race obs-smoke screen-smoke qos-smoke
 
 # One testing.B per paper table/figure; each reports its headline metric.
 bench:

@@ -101,6 +101,50 @@ func writeReport(w io.Writer, path string) error {
 	}
 	fmt.Fprintln(w, t.Text())
 
+	// Per-QoS-class rollup of multi-class runs: totals per class name plus
+	// the injection-weighted mean latency, so a QoS sweep's priority
+	// protection shows up directly in the dashboard.
+	type classAgg struct {
+		injected, delivered int64
+		latSum              float64 // avg latency weighted by measured packets
+		latW                int64
+	}
+	byClass := map[string]*classAgg{}
+	var classNames []string
+	for _, r := range recs {
+		for i, name := range r.ClassNames {
+			a := byClass[name]
+			if a == nil {
+				a = &classAgg{}
+				byClass[name] = a
+				classNames = append(classNames, name)
+			}
+			if i < len(r.ClassInjected) {
+				a.injected += r.ClassInjected[i]
+			}
+			if i < len(r.ClassDelivered) {
+				a.delivered += r.ClassDelivered[i]
+			}
+			if i < len(r.ClassAvgLatency) && i < len(r.ClassInjected) && r.ClassInjected[i] > 0 {
+				a.latSum += r.ClassAvgLatency[i] * float64(r.ClassInjected[i])
+				a.latW += r.ClassInjected[i]
+			}
+		}
+	}
+	if len(classNames) > 0 {
+		sort.Strings(classNames)
+		ct := stats.NewTable("QoS classes", "class", "injected", "delivered", "avg latency")
+		for _, name := range classNames {
+			a := byClass[name]
+			lat := "-"
+			if a.latW > 0 {
+				lat = fmt.Sprintf("%.2f", a.latSum/float64(a.latW))
+			}
+			ct.AddRow(name, fmt.Sprint(a.injected), fmt.Sprint(a.delivered), lat)
+		}
+		fmt.Fprintln(w, ct.Text())
+	}
+
 	// Slowest computed specs: where a warm rerun's time would actually go.
 	slow := make([]ledger.Record, 0, len(recs))
 	for _, r := range recs {

@@ -180,11 +180,15 @@ func cmdOpenLoop(args []string) error {
 	p := netFlags(fs)
 	rate := fs.Float64("rate", 0.1, "offered load in flits/cycle/node")
 	fo := faultFlags(fs)
+	co := classFlags(fs)
 	oo := obsFlags(fs, true)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	p.Fault = fo.build()
+	if err := co.apply(p); err != nil {
+		return err
+	}
 	if err := oo.setup(); err != nil {
 		return err
 	}
@@ -211,6 +215,7 @@ func cmdOpenLoop(args []string) error {
 	if res.LostPackets > 0 {
 		fmt.Printf("lost packets %d\n", res.LostPackets)
 	}
+	printPerClass(res.PerClass)
 	printFaultStats(res.Faults)
 	return nil
 }
@@ -222,6 +227,7 @@ func cmdSweep(args []string) error {
 	step := fs.Float64("step", 0.02, "load step")
 	screen := fs.Bool("screen", false, "analytically screen the sweep: skip predicted deep-saturation simulations (output is bit-identical)")
 	fo := faultFlags(fs)
+	co := classFlags(fs)
 	oo := obsFlags(fs, false)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -231,6 +237,9 @@ func cmdSweep(args []string) error {
 		defer core.DisableScreening()
 	}
 	p.Fault = fo.build()
+	if err := co.apply(p); err != nil {
+		return err
+	}
 	if err := oo.setup(); err != nil {
 		return err
 	}
@@ -253,6 +262,20 @@ func cmdSweep(args []string) error {
 	fmt.Printf("%10s %12s %12s %8s\n", "offered", "avg latency", "accepted", "stable")
 	for _, r := range results {
 		fmt.Printf("%10.3f %12.2f %12.3f %8v\n", r.Rate, r.AvgLatency, r.Accepted, r.Stable)
+	}
+	if len(results) > 0 && len(results[0].PerClass) > 0 {
+		fmt.Printf("\nper-class avg latency (cycles)\n%10s", "offered")
+		for _, cr := range results[0].PerClass {
+			fmt.Printf(" %12s", cr.Name)
+		}
+		fmt.Println()
+		for _, r := range results {
+			fmt.Printf("%10.3f", r.Rate)
+			for _, cr := range r.PerClass {
+				fmt.Printf(" %12.2f", cr.AvgLatency)
+			}
+			fmt.Println()
+		}
 	}
 	if *screen {
 		s := core.ScreeningSummary()

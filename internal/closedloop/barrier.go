@@ -26,6 +26,9 @@ type BarrierConfig struct {
 	B int
 	// Phases is the number of barrier-separated phases (default 1).
 	Phases int
+	// Class stamps the QoS traffic class on every injected packet (see
+	// router.Config.Classes); zero keeps the classic single-class run.
+	Class int
 
 	MaxCycles int64
 	Seed      uint64
@@ -153,7 +156,9 @@ func (d *barrierDriver) Cycle(now int64) {
 		if d.sent[node] < cfg.B && d.net.SourceQueueLen(node) < 2*cfg.Sizes.Sample(d.rng) {
 			size := cfg.Sizes.Sample(d.rng)
 			dst := cfg.Pattern.Dest(d.rng, node, d.n)
-			d.net.Send(d.net.NewPacket(node, dst, size, router.KindData))
+			p := d.net.NewPacket(node, dst, size, router.KindData)
+			p.Class = cfg.Class
+			d.net.Send(p)
 			d.totalFlits += int64(size)
 			d.sent[node]++
 			d.injected++

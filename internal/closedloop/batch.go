@@ -60,6 +60,12 @@ type BatchConfig struct {
 	// Kernel, when non-nil, enables the OS-traffic model (§V).
 	Kernel *KernelConfig
 
+	// ReqClass and ReplyClass stamp the QoS traffic class on request and
+	// reply packets (see router.Config.Classes) — e.g. prioritized replies
+	// on a class-partitioned network. Zeros keep the classic single-class
+	// behavior.
+	ReqClass, ReplyClass int
+
 	// MaxCycles aborts a run that fails to complete (default 50M).
 	MaxCycles int64
 	Seed      uint64
@@ -244,6 +250,7 @@ func (d *batchDriver) countInjection(p *router.Packet) {
 func (d *batchDriver) sendRequest(node int, kernel bool) {
 	dst := d.cfg.Pattern.Dest(d.rng, node, d.n)
 	p := d.net.NewPacket(node, dst, d.cfg.ReqSize, router.KindRequest)
+	p.Class = d.cfg.ReqClass
 	if kernel {
 		p.Aux = auxKernel
 	}
@@ -270,6 +277,7 @@ func (d *batchDriver) Cycle(now int64) {
 	for d.replies.Len() > 0 && (*d.replies)[0].ready <= now {
 		ev := heap.Pop(d.replies).(replyEvent)
 		p := d.net.NewPacket(ev.from, ev.to, ev.size, router.KindReply)
+		p.Class = d.cfg.ReplyClass
 		if ev.kernel {
 			p.Aux = auxKernel
 		}

@@ -1,0 +1,62 @@
+package core_test
+
+// Fuzz target for the QoS class-spec surface of the experiment spec. The
+// class list rides inside the network parameters, so it inherits the
+// parser's canonicalization contract — and adds one of its own: the
+// class-free form must normalize to a nil slice, because the cache key
+// is derived from the marshalled parameters and `[]` vs absent would
+// re-key every pre-QoS cached experiment.
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"noceval/internal/core"
+	"noceval/internal/traffic"
+)
+
+func FuzzClassSpec(f *testing.F) {
+	for _, seed := range []string{
+		`{"kind":"openloop","rate":0.2,"network":{"Classes":[{"name":"hi","share":0.3},{"name":"lo","share":0.7}]}}`,
+		`{"network":{"VCs":4,"Classes":[{"name":"a","share":0.5,"pattern":"transpose","sizes":"bimodal"},{"name":"b","share":0.5}]}}`,
+		`{"network":{"Classes":[],"ClassArb":"strict"}}`,
+		`{"network":{"Classes":[{"name":"","share":-1}]}}`,
+		`{"network":{"Classes":[{"name":"x","share":1e309,"pattern":"nosuch","sizes":"nosuch"}]}}`,
+		`{"network":{"ClassArb":"classrr","Classes":[{"name":"a","share":0.2},{"name":"b","share":0.3},{"name":"c","share":0.5}]}}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := core.ParseSpec(data)
+		if err != nil {
+			return
+		}
+		// Class-free specs must carry the canonical nil, never an empty
+		// slice: both marshal differently only under reflect.DeepEqual,
+		// but the fixed-point check below depends on it, and the cache
+		// key depends on the omitempty encoding.
+		if spec.Network.Classes != nil && len(spec.Network.Classes) == 0 {
+			t.Fatalf("empty class list not normalized to nil: %+v", spec.Network)
+		}
+		enc, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not re-encode: %v", err)
+		}
+		again, err := core.ParseSpec(enc)
+		if err != nil {
+			t.Fatalf("re-encoded spec rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Fatalf("class spec not canonical:\nfirst:  %+v\nsecond: %+v", spec, again)
+		}
+		// Resolving the class list must never panic; accepted lists
+		// either build or report a clean error (share validation is the
+		// runner's job, so a built list may still fail ValidateClasses —
+		// that too must be an error, not a panic).
+		classes, err := spec.Network.BuildClasses()
+		if err == nil && len(classes) > 0 {
+			_ = traffic.ValidateClasses(classes)
+		}
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"noceval/internal/network"
 	"noceval/internal/obs"
 	"noceval/internal/obs/ledger"
+	"noceval/internal/openloop"
 )
 
 // runLedger is the process-wide run ledger; nil means recording is off. It
@@ -135,6 +136,25 @@ func (s *runScope) faults(fs *fault.Stats) {
 	s.rec.FaultInjected = fs.CorruptInjected + fs.DropInjected
 	s.rec.FaultRetried = fs.Retried
 	s.rec.FaultDead = fs.Abandoned
+}
+
+// classes copies a multi-class run's per-QoS-class outcome into the
+// record's parallel arrays; a class-free run (nil PerClass) is a no-op so
+// its ledger line stays byte-identical to schema 1.
+func (s *runScope) classes(per []openloop.ClassResult) {
+	if s == nil || len(per) == 0 {
+		return
+	}
+	s.rec.ClassNames = make([]string, len(per))
+	s.rec.ClassInjected = make([]int64, len(per))
+	s.rec.ClassDelivered = make([]int64, len(per))
+	s.rec.ClassAvgLatency = make([]float64, len(per))
+	for i, cr := range per {
+		s.rec.ClassNames[i] = cr.Name
+		s.rec.ClassInjected[i] = cr.Injected
+		s.rec.ClassDelivered[i] = cr.Delivered
+		s.rec.ClassAvgLatency[i] = cr.AvgLatency
+	}
 }
 
 // finish completes the record — wall time, simulated cycles, pipeline

@@ -48,14 +48,41 @@ type NetworkParams struct {
 	// shard count hits the same cache entry. json-omitted to keep
 	// pre-existing keys and goldens byte-stable.
 	Shards int `json:",omitempty"`
+	// Classes, when non-empty, splits the offered traffic into QoS
+	// classes (index 0 = highest priority): each class gets its own VC
+	// partition in the routers and injects Rate*Share flits/cycle/node
+	// with its own pattern and size mix. json-omitted (and normalized to
+	// nil in cache keys) so class-free configurations keep their
+	// pre-existing experiment-cache keys and golden figures byte-stable.
+	Classes []ClassSpec `json:",omitempty"`
+	// ClassArb selects the cross-class arbitration policy when Classes is
+	// set: "" or "strict" for strict priority, "classrr" for class-blind
+	// round-robin over the partitioned VCs.
+	ClassArb string `json:",omitempty"`
+}
+
+// ClassSpec is the declarative, JSON-serializable form of one QoS traffic
+// class. Empty Pattern/Sizes inherit the top-level NetworkParams values.
+type ClassSpec struct {
+	Name    string  `json:"name"`
+	Share   float64 `json:"share"`
+	Pattern string  `json:"pattern,omitempty"`
+	Sizes   string  `json:"sizes,omitempty"`
 }
 
 // cacheNorm returns the parameters as they enter experiment-cache keys:
 // Shards is zeroed because sharding is bit-identical to sequential — the
 // same experiment at any shard count must hit the same cache entry (and
-// a cached result must satisfy a later sharded request).
+// a cached result must satisfy a later sharded request). An empty (but
+// non-nil) Classes slice is normalized to nil so both spellings of "no
+// QoS classes" share the pre-existing class-free cache keys; non-empty
+// Classes intentionally hash to new keys, since the VC partition changes
+// the simulated behavior.
 func (p NetworkParams) cacheNorm() NetworkParams {
 	p.Shards = 0
+	if len(p.Classes) == 0 {
+		p.Classes = nil
+	}
 	return p
 }
 
@@ -100,6 +127,9 @@ func Baseline() NetworkParams {
 // String returns a compact label for figure legends.
 func (p NetworkParams) String() string {
 	s := fmt.Sprintf("%s/%s tr=%d q=%d v=%d %s", p.Topology, p.Routing, p.RouterDelay, p.BufDepth, p.VCs, p.Pattern)
+	if len(p.Classes) > 0 {
+		s += fmt.Sprintf(" qos=%d", len(p.Classes))
+	}
 	if p.Fault.Enabled() {
 		s += fmt.Sprintf(" fault(c=%g,d=%g)", p.Fault.CorruptRate, p.Fault.DropRate)
 	}
@@ -124,6 +154,14 @@ func (p NetworkParams) Build() (network.Config, error) {
 	default:
 		return network.Config{}, fmt.Errorf("core: unknown arbitration %q", p.Arb)
 	}
+	classArb := router.StrictPriority
+	switch p.ClassArb {
+	case "", "strict":
+	case "classrr":
+		classArb = router.ClassRoundRobin
+	default:
+		return network.Config{}, fmt.Errorf("core: unknown class arbitration %q", p.ClassArb)
+	}
 	cfg := network.Config{
 		Topo:    topo,
 		Routing: alg,
@@ -133,6 +171,8 @@ func (p NetworkParams) Build() (network.Config, error) {
 			Delay:        p.RouterDelay,
 			Arb:          arb,
 			SAIterations: p.SAIterations,
+			Classes:      len(p.Classes),
+			ClassArb:     classArb,
 		},
 		Seed:   p.Seed,
 		Fault:  p.Fault,
@@ -155,12 +195,46 @@ func (p NetworkParams) BuildPattern() (traffic.Pattern, error) {
 
 // BuildSizes returns the packet-size distribution named in the parameters.
 func (p NetworkParams) BuildSizes() (traffic.SizeDist, error) {
-	switch p.Sizes {
+	return sizesByName(p.Sizes)
+}
+
+// sizesByName maps a size-mix name to its distribution.
+func sizesByName(name string) (traffic.SizeDist, error) {
+	switch name {
 	case "", "single":
 		return traffic.FixedSize(1), nil
 	case "bimodal":
 		return traffic.DefaultBimodal(), nil
 	default:
-		return nil, fmt.Errorf("core: unknown packet size mix %q", p.Sizes)
+		return nil, fmt.Errorf("core: unknown packet size mix %q", name)
 	}
+}
+
+// BuildClasses materializes the QoS class mix. Classes with empty
+// Pattern/Sizes keep nil fields, which the open-loop runner fills from the
+// top-level pattern and size distribution.
+func (p NetworkParams) BuildClasses() ([]traffic.Class, error) {
+	if len(p.Classes) == 0 {
+		return nil, nil
+	}
+	out := make([]traffic.Class, len(p.Classes))
+	for i, cs := range p.Classes {
+		cl := traffic.Class{Name: cs.Name, Share: cs.Share}
+		if cs.Pattern != "" {
+			pat, err := traffic.ByName(cs.Pattern)
+			if err != nil {
+				return nil, fmt.Errorf("core: class %q: %w", cs.Name, err)
+			}
+			cl.Pattern = pat
+		}
+		if cs.Sizes != "" {
+			sd, err := sizesByName(cs.Sizes)
+			if err != nil {
+				return nil, fmt.Errorf("core: class %q: %w", cs.Name, err)
+			}
+			cl.Sizes = sd
+		}
+		out[i] = cl
+	}
+	return out, nil
 }

@@ -65,6 +65,7 @@ func OpenLoopObserved(p NetworkParams, rate float64, h Hooks) (*openloop.Result,
 	res, err := openloop.Run(cfg)
 	if res != nil {
 		s.faults(res.Faults)
+		s.classes(res.PerClass)
 		s.finish(res.EndCycle, err)
 	} else {
 		s.finish(0, err)
@@ -87,10 +88,15 @@ func openLoopConfig(p NetworkParams, o OpenLoopOpts) (openloop.Config, error) {
 	if err != nil {
 		return openloop.Config{}, err
 	}
+	classes, err := p.BuildClasses()
+	if err != nil {
+		return openloop.Config{}, err
+	}
 	return openloop.Config{
 		Net:        netCfg,
 		Pattern:    pat,
 		Sizes:      sizes,
+		Classes:    classes,
 		Warmup:     o.Warmup,
 		Measure:    o.Measure,
 		DrainLimit: o.DrainLimit,
@@ -121,6 +127,7 @@ func openLoopCached(p NetworkParams, cfg openloop.Config) (*openloop.Result, err
 	s.cache(consulted, hit)
 	if res != nil {
 		s.faults(res.Faults)
+		s.classes(res.PerClass)
 		s.finish(res.EndCycle, err)
 	} else {
 		s.finish(0, err)

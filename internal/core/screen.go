@@ -14,6 +14,7 @@ package core
 // the -screen flag.
 
 import (
+	"fmt"
 	"math"
 	"sync/atomic"
 
@@ -88,6 +89,42 @@ func AnalyticEstimator(p NetworkParams) (*analytic.Estimator, error) {
 	}
 	m := analytic.Model{Topo: topo, Routing: alg, RouterDelay: p.RouterDelay, Seed: p.Seed}
 	return m.NewEstimator(pat, sizes)
+}
+
+// AnalyticPriorityEstimator compiles the per-class priority-queueing
+// estimator for parameters carrying a QoS class mix (see
+// internal/analytic's PriorityEstimator). Classes with empty pattern or
+// size names inherit the top-level values, exactly as the simulator does.
+func AnalyticPriorityEstimator(p NetworkParams) (*analytic.PriorityEstimator, error) {
+	if len(p.Classes) == 0 {
+		return nil, fmt.Errorf("core: priority estimator needs QoS classes, got none")
+	}
+	topo, err := topology.ByName(p.Topology)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := routing.ByName(p.Routing)
+	if err != nil {
+		return nil, err
+	}
+	classes, err := p.BuildClasses()
+	if err != nil {
+		return nil, err
+	}
+	for i := range classes {
+		if classes[i].Pattern == nil {
+			if classes[i].Pattern, err = p.BuildPattern(); err != nil {
+				return nil, err
+			}
+		}
+		if classes[i].Sizes == nil {
+			if classes[i].Sizes, err = p.BuildSizes(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	m := analytic.Model{Topo: topo, Routing: alg, RouterDelay: p.RouterDelay, Seed: p.Seed}
+	return m.NewPriorityEstimator(classes)
 }
 
 // screenCutMargin widens the predicted saturation knee into the sweep cut.

@@ -82,6 +82,12 @@ func ParseSpec(data []byte) (*ExperimentSpec, error) {
 	if spec.Network.Topology == "" {
 		spec.Network = Baseline()
 	}
+	// Normalize an explicit empty class list to nil: both spell "no QoS
+	// classes", and the canonical form must survive a marshal/re-parse
+	// round trip (Classes is json-omitted when empty).
+	if len(spec.Network.Classes) == 0 {
+		spec.Network.Classes = nil
+	}
 	return spec, nil
 }
 

@@ -69,7 +69,12 @@ type Network struct {
 	clock   sim.Clock
 	rng     *sim.RNG
 	routers []*router.Router
-	srcQ    []*sim.FIFO[router.Flit]
+	// classes is the QoS class count (>= 1, from Router.Classes); srcQ
+	// holds one source queue per node per class, so a backed-up
+	// low-priority queue never blocks high-priority injection. Single-class
+	// networks use srcQ[node][0] exactly as the classic single queue.
+	classes int
+	srcQ    [][]*sim.FIFO[router.Flit]
 
 	// OnReceive, when non-nil, is invoked for every packet that fully
 	// arrives at its destination terminal.
@@ -203,11 +208,16 @@ func New(cfg Config) *Network {
 		panic(err)
 	}
 	t := cfg.Topo
+	classes := cfg.Router.Classes
+	if classes < 1 {
+		classes = 1
+	}
 	n := &Network{
 		cfg:     cfg,
 		rng:     sim.NewRNG(cfg.Seed),
 		routers: make([]*router.Router, t.N),
-		srcQ:    make([]*sim.FIFO[router.Flit], t.N),
+		classes: classes,
+		srcQ:    make([][]*sim.FIFO[router.Flit], t.N),
 	}
 	parts := t.Partition(max(cfg.Shards, 1))
 	n.tiles = make([]netTile, len(parts))
@@ -226,7 +236,10 @@ func New(cfg Config) *Network {
 	}
 	for i := 0; i < t.N; i++ {
 		n.routers[i] = router.New(i, t, cfg.Routing, cfg.Router)
-		n.srcQ[i] = sim.NewFIFO[router.Flit](16)
+		n.srcQ[i] = make([]*sim.FIFO[router.Flit], classes)
+		for qc := range n.srcQ[i] {
+			n.srcQ[i][qc] = sim.NewFIFO[router.Flit](16)
+		}
 		id := i
 		n.routers[i].SetWake(func() { n.markActive(id) })
 	}
@@ -259,6 +272,7 @@ func New(cfg Config) *Network {
 					p := n.NewPacket(prev.Src, prev.Dst, prev.Size, prev.Kind)
 					p.Aux = prev.Aux
 					p.Measured = prev.Measured
+					p.Class = prev.Class
 					// A retransmission continues the original transaction:
 					// it keeps the original creation time so end-to-end
 					// latency honestly includes the recovery delay.
@@ -455,8 +469,9 @@ func (n *Network) send(p *router.Packet) {
 		n.notePacketDead(p)
 		return
 	}
+	q := n.srcQ[p.Src][n.clampClass(p.Class)]
 	for _, f := range router.Flits(p) {
-		n.srcQ[p.Src].Push(f)
+		q.Push(f)
 	}
 	t := &n.tiles[n.tileOf[p.Src]]
 	bit := p.Src - t.lo
@@ -464,9 +479,29 @@ func (n *Network) send(p *router.Packet) {
 	t.queuedFlits += int64(p.Size)
 }
 
+// clampClass maps a packet class onto the configured class range: classes
+// beyond the configured count share the lowest-priority queue, so a
+// workload stamping classes onto a single-class network degrades to the
+// classic behaviour instead of faulting.
+func (n *Network) clampClass(qc int) int {
+	if qc < 0 || qc >= n.classes {
+		return n.classes - 1
+	}
+	return qc
+}
+
+// Classes returns the network's QoS class count (1 for classic networks).
+func (n *Network) Classes() int { return n.classes }
+
 // SourceQueueLen returns the number of flits waiting at a node's source
-// queue (not yet inside the network).
-func (n *Network) SourceQueueLen(node int) int { return n.srcQ[node].Len() }
+// queues (not yet inside the network), summed across classes.
+func (n *Network) SourceQueueLen(node int) int {
+	l := 0
+	for _, q := range n.srcQ[node] {
+		l += q.Len()
+	}
+	return l
+}
 
 // Step advances the network one cycle. With more than one tile the cycle
 // runs on the gang (shard.go); the full-scan reference mode and an
@@ -665,29 +700,36 @@ func (n *Network) injectTile(now int64, ti int) {
 	}
 }
 
-// injectNode drains node's source queue into its injection buffer while
-// space remains, clearing the node's pending bit once the queue empties.
+// injectNode drains node's source queues into its injection buffers while
+// space remains, visiting classes in priority order (class 0 first), and
+// clears the node's pending bit once every queue empties. Each class
+// injects through its own VC partition, so the drains are independent: a
+// full low-priority injection buffer never stalls high-priority flits.
 // t must be node's tile.
 func (n *Network) injectNode(now int64, t *netTile, node int) {
-	q := n.srcQ[node]
 	r := n.routers[node]
-	for q.Len() > 0 && r.CanAcceptInjection() {
-		f, _ := q.Pop()
-		if f.Head() {
-			f.P.InjectTime = now
-			if n.tracer != nil {
-				n.tracer.Record(now, f.P.ID, node, obs.PhaseInject)
+	pending := 0
+	for qc := 0; qc < n.classes; qc++ {
+		q := n.srcQ[node][qc]
+		for q.Len() > 0 && r.CanAcceptInjectionClass(qc) {
+			f, _ := q.Pop()
+			if f.Head() {
+				f.P.InjectTime = now
+				if n.tracer != nil {
+					n.tracer.Record(now, f.P.ID, node, obs.PhaseInject)
+				}
+			}
+			r.AcceptFlit(n.cfg.Topo.LocalPort(), r.InjectionVCClass(qc), f)
+			t.flitsInjected++
+			t.queuedFlits--
+			if n.obs != nil {
+				n.nodeInjected[node]++
+				n.cFlitInjected.Inc()
 			}
 		}
-		r.AcceptFlit(n.cfg.Topo.LocalPort(), r.InjectionVC(), f)
-		t.flitsInjected++
-		t.queuedFlits--
-		if n.obs != nil {
-			n.nodeInjected[node]++
-			n.cFlitInjected.Inc()
-		}
+		pending += q.Len()
 	}
-	if q.Len() == 0 {
+	if pending == 0 {
 		bit := node - t.lo
 		t.srcPending[bit>>6] &^= 1 << (uint(bit) & 63)
 	}
@@ -877,15 +919,16 @@ func (n *Network) killRouter(now int64, node int) {
 		n.cFaultDeadDropped.Inc()
 		n.notePacketDead(f.P)
 	})
-	q := n.srcQ[node]
 	t := &n.tiles[n.tileOf[node]]
-	for {
-		f, ok := q.Pop()
-		if !ok {
-			break
+	for _, q := range n.srcQ[node] {
+		for {
+			f, ok := q.Pop()
+			if !ok {
+				break
+			}
+			t.queuedFlits--
+			n.notePacketDead(f.P)
 		}
-		t.queuedFlits--
-		n.notePacketDead(f.P)
 	}
 	bit := node - t.lo
 	t.srcPending[bit>>6] &^= 1 << (uint(bit) & 63)

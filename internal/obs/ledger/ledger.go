@@ -35,7 +35,11 @@ import (
 // Schema is the current ledger record schema version, stored in every
 // record. Bump it when a field changes meaning (adding fields does not
 // require a bump: readers preserve what they do not understand).
-const Schema = 1
+//
+// Schema 2 added the per-QoS-class arrays (class_names, class_injected,
+// class_delivered, class_avg_latency); class-free records omit them all,
+// so schema-1 readers see those lines unchanged.
+const Schema = 2
 
 // Record is one experiment execution. Zero-valued optional fields are
 // omitted from the JSON so a ledger line stays one short, greppable
@@ -103,6 +107,15 @@ type Record struct {
 	ScreenSimulated  int `json:"screen_simulated,omitempty"`
 	ScreenSkipped    int `json:"screen_skipped,omitempty"`
 	ScreenRefined    int `json:"screen_refined,omitempty"`
+	// Per-QoS-class outcome of a multi-class run, parallel arrays indexed
+	// by class (0 = highest priority): class names, measured packets
+	// injected, packets delivered in the measurement window, and average
+	// measured latency in cycles. All omitted for class-free runs so their
+	// ledger lines stay byte-identical to schema 1.
+	ClassNames      []string  `json:"class_names,omitempty"`
+	ClassInjected   []int64   `json:"class_injected,omitempty"`
+	ClassDelivered  []int64   `json:"class_delivered,omitempty"`
+	ClassAvgLatency []float64 `json:"class_avg_latency,omitempty"`
 	// Err records a failed execution's error text.
 	Err string `json:"err,omitempty"`
 

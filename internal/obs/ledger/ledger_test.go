@@ -24,6 +24,11 @@ func TestRoundTrip(t *testing.T) {
 			Workers: 8, ParWaves: 2, ParTasks: 17,
 			FaultInjected: 3, FaultRetried: 2, FaultDead: 1},
 		{Kind: "exec", WallNS: 10, Err: "hit the cycle limit"},
+		{Kind: "openloop", Engine: "activeset", WallNS: 900, Cycles: 40000,
+			ClassNames:      []string{"latency", "bulk"},
+			ClassInjected:   []int64{1200, 4800},
+			ClassDelivered:  []int64{1300, 5100},
+			ClassAvgLatency: []float64{21.5, 48.25}},
 	}
 	for _, r := range want {
 		if err := l.Append(r); err != nil {
@@ -74,13 +79,16 @@ func TestNilLedger(t *testing.T) {
 // written by a newer schema with extra fields round-trips through this
 // build with those fields intact.
 func TestUnknownFieldsPreserved(t *testing.T) {
-	line := `{"schema":9,"kind":"openloop","wall_ns":42,"future_field":{"x":1},"another":"later"}`
+	line := `{"schema":9,"kind":"openloop","wall_ns":42,"class_names":["hi","lo"],"future_field":{"x":1},"another":"later"}`
 	var r Record
 	if err := json.Unmarshal([]byte(line), &r); err != nil {
 		t.Fatal(err)
 	}
 	if r.Schema != 9 || r.Kind != "openloop" || r.WallNS != 42 {
 		t.Fatalf("known fields mangled: %+v", r)
+	}
+	if len(r.ClassNames) != 2 || r.ClassNames[0] != "hi" {
+		t.Fatalf("class_names not decoded: %+v", r.ClassNames)
 	}
 	if len(r.Unknown) != 2 {
 		t.Fatalf("Unknown = %v, want future_field and another", r.Unknown)

@@ -37,6 +37,14 @@ type Config struct {
 	// Proc, when non-nil, replaces the default Bernoulli injection process
 	// (e.g. traffic.OnOff for bursty sources). Rate is ignored when set.
 	Proc traffic.Process
+	// Classes, when non-empty, splits the offered load into QoS traffic
+	// classes: each class injects Bernoulli traffic at Rate*Share with its
+	// own pattern and size distribution (nil fields inherit the top-level
+	// Pattern/Sizes), and its packets carry the class index so the router
+	// maps them onto the class's VC partition. Mutually exclusive with
+	// Proc. Net.Router.Classes should match len(Classes) for the VC
+	// partition to take effect.
+	Classes []traffic.Class
 	// Warmup and Measure are the phase lengths in cycles; DrainLimit bounds
 	// the drain phase. Zero values select defaults (10k/10k/100k).
 	Warmup     int64
@@ -118,6 +126,10 @@ type Result struct {
 	Accepted float64
 
 	MeasuredPackets int
+	// PerClass carries per-traffic-class results when the run was driven
+	// by Config.Classes, in class order (index 0 = highest priority); nil
+	// for classic single-class runs so their JSON stays byte-identical.
+	PerClass []ClassResult `json:",omitempty"`
 	// EndCycle is the simulated cycle at which the run finished (warmup +
 	// measurement + drain). It is identical across engine paths — the
 	// fast-forward is exact — and gives the run ledger its cycle count.
@@ -128,6 +140,24 @@ type Result struct {
 	// Faults carries the fault/recovery counters of a faulted run, nil
 	// otherwise. DeliveredFraction is the measured-packet delivery rate.
 	Faults *fault.Stats `json:",omitempty"`
+}
+
+// ClassResult summarizes one traffic class of a multi-class run. All
+// latency statistics cover measured packets of the class only; Accepted is
+// the class's delivered throughput during the measurement phase.
+type ClassResult struct {
+	Name  string
+	Share float64
+	Rate  float64 // offered load of this class, flits/cycle/node
+
+	AvgLatency float64
+	P95, P99   float64
+
+	Accepted float64 // measured throughput, flits/cycle/node
+
+	Injected        int64 // measured packets injected
+	Delivered       int64 // packets delivered during the measurement phase
+	MeasuredPackets int
 }
 
 // driver implements engine.Driver for the open-loop methodology: every
@@ -153,11 +183,29 @@ type driver struct {
 	// interface dispatch and rate/mean division are worth precomputing.
 	// The RNG draw sequence is identical to calling the process.
 	bernProb float64
+
+	// classProb, when non-nil, switches the driver to multi-class
+	// injection: per cycle each terminal makes one Bernoulli draw per
+	// class in priority order, so the per-class offered loads are
+	// independent of each other and of network state.
+	classProb     []float64
+	classes       []traffic.Class
+	classInjected []int64
 }
 
 // Cycle implements engine.Driver: one injection opportunity per terminal.
 func (d *driver) Cycle(now int64) {
 	measured := now >= d.measureFrom && now < d.drainFrom
+	if d.classProb != nil {
+		for node := 0; node < d.n; node++ {
+			for qc := range d.classProb {
+				if d.rng.Bernoulli(d.classProb[qc]) {
+					d.emitClass(node, qc, measured)
+				}
+			}
+		}
+		return
+	}
 	if d.bernProb >= 0 {
 		for node := 0; node < d.n; node++ {
 			if d.rng.Bernoulli(d.bernProb) {
@@ -186,6 +234,23 @@ func (d *driver) emit(node int, measured bool) {
 	d.net.Send(p)
 }
 
+// emitClass generates one packet of QoS class qc at node, drawing from the
+// class's own size and spatial distributions in the same fixed order as
+// emit.
+func (d *driver) emitClass(node, qc int, measured bool) {
+	cl := &d.classes[qc]
+	size := cl.Sizes.Sample(d.rng)
+	dst := cl.Pattern.Dest(d.rng, node, d.n)
+	p := d.net.NewPacket(node, dst, size, router.KindData)
+	p.Class = qc
+	if measured {
+		p.Measured = true
+		*d.outstanding++
+		d.classInjected[qc]++
+	}
+	d.net.Send(p)
+}
+
 // Done implements engine.Driver: the run ends once the measurement phase
 // is over and every tagged packet has arrived.
 func (d *driver) Done(now int64) bool {
@@ -203,10 +268,32 @@ func (d *driver) NextEvent(int64) int64 { return engine.NoEvent }
 func Run(cfg Config) (*Result, error) {
 	cfg.fillDefaults()
 	var proc traffic.Process
-	if cfg.Proc != nil {
+	switch {
+	case len(cfg.Classes) > 0:
+		if cfg.Proc != nil {
+			return nil, fmt.Errorf("openloop: Classes and Proc are mutually exclusive")
+		}
+		if cfg.Rate <= 0 {
+			return nil, fmt.Errorf("openloop: offered load must be positive, got %g", cfg.Rate)
+		}
+		// Copy before filling per-class defaults so the caller's slice is
+		// never mutated.
+		cfg.Classes = append([]traffic.Class(nil), cfg.Classes...)
+		for i := range cfg.Classes {
+			if cfg.Classes[i].Pattern == nil {
+				cfg.Classes[i].Pattern = cfg.Pattern
+			}
+			if cfg.Classes[i].Sizes == nil {
+				cfg.Classes[i].Sizes = cfg.Sizes
+			}
+		}
+		if err := traffic.ValidateClasses(cfg.Classes); err != nil {
+			return nil, err
+		}
+	case cfg.Proc != nil:
 		proc = cfg.Proc
 		cfg.Rate = proc.OfferedLoad()
-	} else {
+	default:
 		if cfg.Rate <= 0 {
 			return nil, fmt.Errorf("openloop: offered load must be positive, got %g", cfg.Rate)
 		}
@@ -222,9 +309,17 @@ func Run(cfg Config) (*Result, error) {
 	net.AttachObserver(cfg.Obs)
 	var latencyHist *obs.Histogram
 	var measuredCtr *obs.Counter
+	var classHists []*obs.Histogram
 	if cfg.Obs != nil {
 		latencyHist = cfg.Obs.Registry.Histogram("openloop.packet_latency_cycles", 0, 1024, 64)
 		measuredCtr = cfg.Obs.Registry.Counter("openloop.measured_packets")
+		if len(cfg.Classes) > 0 {
+			classHists = make([]*obs.Histogram, len(cfg.Classes))
+			for i, cl := range cfg.Classes {
+				classHists[i] = cfg.Obs.Registry.Histogram(
+					"openloop.class."+cl.Name+".latency_cycles", 0, 1024, 64)
+			}
+		}
 	}
 
 	var (
@@ -236,7 +331,18 @@ func Run(cfg Config) (*Result, error) {
 		outstanding  int
 		ejectedFlits int64
 		lostPackets  int
+
+		// Per-class accounting, allocated only for multi-class runs so the
+		// classic path's receive callback stays unchanged.
+		classLat   [][]float64
+		classEject []int64
+		classDeliv []int64
 	)
+	if C := len(cfg.Classes); C > 0 {
+		classLat = make([][]float64, C)
+		classEject = make([]int64, C)
+		classDeliv = make([]int64, C)
+	}
 	// The three-phase schedule in absolute cycles: warmup [0, measureFrom),
 	// measurement [measureFrom, drainFrom), drain [drainFrom, ...). Packets
 	// are tagged by injection cycle and counted by arrival cycle, exactly
@@ -244,8 +350,25 @@ func Run(cfg Config) (*Result, error) {
 	measureFrom := cfg.Warmup
 	drainFrom := cfg.Warmup + cfg.Measure
 	net.OnReceive = func(now int64, p *router.Packet) {
-		if now >= measureFrom && now < drainFrom {
+		inWindow := now >= measureFrom && now < drainFrom
+		if inWindow {
 			ejectedFlits += int64(p.Size)
+		}
+		if classEject != nil {
+			qc := p.Class
+			if qc < 0 || qc >= len(classEject) {
+				qc = len(classEject) - 1
+			}
+			if inWindow {
+				classEject[qc] += int64(p.Size)
+				classDeliv[qc]++
+			}
+			if p.Measured {
+				classLat[qc] = append(classLat[qc], float64(p.Latency()))
+				if classHists != nil {
+					classHists[qc].Observe(float64(p.Latency()))
+				}
+			}
 		}
 		if !p.Measured {
 			return
@@ -276,7 +399,14 @@ func Run(cfg Config) (*Result, error) {
 		outstanding: &outstanding,
 		bernProb:    -1,
 	}
-	if b, ok := proc.(traffic.Bernoulli); ok {
+	if len(cfg.Classes) > 0 {
+		d.classes = cfg.Classes
+		d.classProb = make([]float64, len(cfg.Classes))
+		for i, cl := range cfg.Classes {
+			d.classProb[i] = cfg.Rate * cl.Share / cl.Sizes.Mean()
+		}
+		d.classInjected = make([]int64, len(cfg.Classes))
+	} else if b, ok := proc.(traffic.Bernoulli); ok {
 		d.bernProb = b.Rate / b.Sizes.Mean()
 	}
 	eo := engine.RunOutcome(engine.Config{
@@ -331,6 +461,22 @@ func Run(cfg Config) (*Result, error) {
 	res.WorstLatency = worst
 	if measureCycles > 0 {
 		res.Accepted = float64(ejectedFlits) / float64(measureCycles) / float64(n)
+	}
+	if C := len(cfg.Classes); C > 0 {
+		res.PerClass = make([]ClassResult, C)
+		sums := stats.SummarizeClasses(classLat)
+		for i, cl := range cfg.Classes {
+			cr := ClassResult{
+				Name: cl.Name, Share: cl.Share, Rate: cfg.Rate * cl.Share,
+				Injected: d.classInjected[i], Delivered: classDeliv[i],
+				MeasuredPackets: sums[i].N,
+				AvgLatency:      sums[i].Mean, P95: sums[i].P95, P99: sums[i].P99,
+			}
+			if measureCycles > 0 {
+				cr.Accepted = float64(classEject[i]) / float64(measureCycles) / float64(n)
+			}
+			res.PerClass[i] = cr
+		}
 	}
 	// Beyond saturation the network cannot accept the offered load: source
 	// queues grow without bound even if the tagged packets eventually get

@@ -68,6 +68,13 @@ type Packet struct {
 	// phase; only these contribute to latency statistics.
 	Measured bool
 
+	// Class is the packet's QoS traffic class, 0-based with 0 the highest
+	// priority. Single-class configurations leave it 0. The router maps
+	// each class onto its own slice of the VC space (see Config.Classes)
+	// and, under strict-priority arbitration, always serves lower class
+	// numbers first.
+	Class int
+
 	// FaultTxn is the end-to-end transaction identity assigned by the
 	// recovery NIC (0 when untracked). Retransmitted clones share the
 	// original's FaultTxn so the receiver can acknowledge whichever

@@ -28,6 +28,29 @@ func (p ArbPolicy) String() string {
 	return "rr"
 }
 
+// ClassArbPolicy selects how QoS traffic classes compete in the VC and
+// switch allocators when Config.Classes > 1.
+type ClassArbPolicy int
+
+// Class arbitration policies.
+const (
+	// StrictPriority serves class 0 requests before class 1, and so on;
+	// within a class the configured ArbPolicy breaks ties. This is the
+	// QoS mode: high-priority traffic preempts allocator bandwidth.
+	StrictPriority ClassArbPolicy = iota
+	// ClassRoundRobin keeps the classic class-blind allocators: classes
+	// still get disjoint VC partitions, but compete on equal terms.
+	ClassRoundRobin
+)
+
+// String returns the policy's short name.
+func (p ClassArbPolicy) String() string {
+	if p == ClassRoundRobin {
+		return "classrr"
+	}
+	return "strict"
+}
+
 // ejectionCredits is the effectively infinite credit count of ejection
 // output VCs: terminals are ideal sinks, so ejection is limited only by
 // the one-flit-per-cycle switch bandwidth.
@@ -44,6 +67,16 @@ type Config struct {
 	// further iterations match the ports left unpaired, improving crossbar
 	// utilization near saturation. 0 or 1 selects the classic single pass.
 	SAIterations int
+	// Classes is the number of QoS traffic classes the VC space is
+	// partitioned across. 0 or 1 selects the classic single-class router:
+	// every code path is then exactly the pre-QoS implementation. With
+	// C > 1, class c owns the VC slice [c*VCs/C, (c+1)*VCs/C) on every
+	// port, and the routing algorithm's deadlock classes subdivide each
+	// slice the same way they used to subdivide the whole VC space.
+	Classes int
+	// ClassArb selects strict-priority (default) or class-blind
+	// round-robin arbitration between classes; ignored when Classes <= 1.
+	ClassArb ClassArbPolicy
 }
 
 // Validate reports configuration errors, including too few VCs for the
@@ -61,6 +94,23 @@ func (c Config) Validate(t *topology.Topology, alg routing.Algorithm) error {
 	if need := alg.NumClasses(t); c.VCs < need {
 		return fmt.Errorf("router: algorithm %s needs %d VC classes on %s but only %d VCs configured",
 			alg.Name(), need, t.Name, c.VCs)
+	}
+	if c.Classes < 0 {
+		return fmt.Errorf("router: Classes must be >= 0, got %d", c.Classes)
+	}
+	if c.Classes > 1 {
+		// Every QoS class's VC slice must still fit the routing
+		// algorithm's deadlock classes, or packets of that class could
+		// find no legal output VC and wedge.
+		need := alg.NumClasses(t)
+		for qc := 0; qc < c.Classes; qc++ {
+			lo := qc * c.VCs / c.Classes
+			hi := (qc + 1) * c.VCs / c.Classes
+			if w := hi - lo; w < need {
+				return fmt.Errorf("router: QoS class %d gets %d of %d VCs, but algorithm %s needs %d per class on %s (short %d)",
+					qc, w, c.VCs, alg.Name(), need, t.Name, need-w)
+			}
+		}
 	}
 	return nil
 }
@@ -113,6 +163,22 @@ type Router struct {
 	// numClasses caches alg.NumClasses(topo); classRange sits on the
 	// per-candidate routing path and must not pay an interface call.
 	numClasses int
+	// qos is the number of QoS traffic classes (>= 1); strict is true
+	// when qos > 1 under StrictPriority, enabling the priority branches
+	// in the allocators. Single-class routers keep qos == 1 and strict
+	// false, so every hot path is the classic implementation.
+	qos    int
+	strict bool
+	// vcQoS maps a VC index to its QoS class. An input VC only ever holds
+	// packets of its own class — injection enters the class's partition,
+	// VC allocation grants only within the packet's partition, and a
+	// delivered flit lands at whatever VC its upstream allocator chose
+	// inside that partition — so allocators can read a front packet's
+	// class from this table without peeking at the buffer.
+	vcQoS []int8
+	// qosMasks[c] has bit p*VCs+v set for every (port, VC) pair whose VC
+	// belongs to class c, for the bitmask allocator paths.
+	qosMasks []uint64
 
 	in  [][]*inVC
 	out [][]outVC
@@ -236,6 +302,22 @@ func New(id int, t *topology.Topology, alg routing.Algorithm, cfg Config) *Route
 	}
 	r.maskHot = ports*cfg.VCs <= 64
 	r.numClasses = alg.NumClasses(t)
+	r.qos = cfg.Classes
+	if r.qos < 1 {
+		r.qos = 1
+	}
+	r.strict = r.qos > 1 && cfg.ClassArb == StrictPriority
+	r.vcQoS = make([]int8, cfg.VCs)
+	r.qosMasks = make([]uint64, r.qos)
+	for qc := 0; qc < r.qos; qc++ {
+		lo, hi := r.qosRange(qc)
+		for v := lo; v < hi; v++ {
+			r.vcQoS[v] = int8(qc)
+			for p := 0; p < ports; p++ {
+				r.qosMasks[qc] |= 1 << uint(p*cfg.VCs+v)
+			}
+		}
+	}
 	local := t.LocalPort()
 	for p := 0; p < ports; p++ {
 		r.in[p] = make([]*inVC, cfg.VCs)
@@ -315,14 +397,26 @@ func (r *Router) SampleVCOccupancy() (avg float64, max int) {
 	return avg, max
 }
 
-// classRange maps a routing VC class to its VC index range [lo, hi).
-func (r *Router) classRange(class int) (lo, hi int) {
+// qosRange maps a QoS class to its slice [lo, hi) of the VC space. With a
+// single class this is the whole space.
+func (r *Router) qosRange(qc int) (lo, hi int) {
+	lo = qc * r.cfg.VCs / r.qos
+	hi = (qc + 1) * r.cfg.VCs / r.qos
+	return lo, hi
+}
+
+// classRange maps a routing VC class to its VC index range [lo, hi) within
+// QoS class qc's partition. With one QoS class the partition is the whole
+// VC space and the formula reduces to the classic routing-class split.
+func (r *Router) classRange(qc, class int) (lo, hi int) {
+	qlo, qhi := r.qosRange(qc)
 	if class == routing.AnyClass {
-		return 0, r.cfg.VCs
+		return qlo, qhi
 	}
+	w := qhi - qlo
 	c := r.numClasses
-	lo = class * r.cfg.VCs / c
-	hi = (class + 1) * r.cfg.VCs / c
+	lo = qlo + class*w/c
+	hi = qlo + (class+1)*w/c
 	return lo, hi
 }
 
@@ -353,6 +447,22 @@ func (r *Router) CanAcceptInjection() bool {
 // InjectionVC returns the VC index injected flits enter: a single FIFO
 // source-queue model per the open-loop methodology.
 func (r *Router) InjectionVC() int { return 0 }
+
+// CanAcceptInjectionClass reports whether QoS class qc's injection buffer
+// has space for another flit. Each class injects through the first VC of
+// its own partition, so a backed-up low-priority class never blocks
+// high-priority injection. With one class this is CanAcceptInjection.
+func (r *Router) CanAcceptInjectionClass(qc int) bool {
+	lo, _ := r.qosRange(qc)
+	return !r.in[r.topo.LocalPort()][lo].buf.Full()
+}
+
+// InjectionVCClass returns the VC index class qc's injected flits enter:
+// the first VC of the class's partition (VC 0 for a single class).
+func (r *Router) InjectionVCClass(qc int) int {
+	lo, _ := r.qosRange(qc)
+	return lo
+}
 
 // SetLegacyScan toggles the reference nested-loop compute paths. With v
 // true the router ignores its state bitmasks and scans every port and VC
@@ -525,13 +635,28 @@ func (r *Router) vcAllocate(now int64) {
 		// Round robin over the request mask: bits >= vaPtr in ascending
 		// order, then the wrap-around below it — exactly the (vaPtr+i)%total
 		// visiting order of the full scan, touching only actual requests.
+		// Under strict priority the rotation runs class by class; classes
+		// own disjoint VC partitions, so this changes the service order,
+		// never which output VCs are reachable.
 		if r.reqMask != 0 {
 			below := uint64(1)<<uint(r.vaPtr) - 1
-			for m := r.reqMask &^ below; m != 0; m &= m - 1 {
-				r.vaTryGrant(now, bits.TrailingZeros64(m))
-			}
-			for m := r.reqMask & below; m != 0; m &= m - 1 {
-				r.vaTryGrant(now, bits.TrailingZeros64(m))
+			if r.strict {
+				for qc := 0; qc < r.qos; qc++ {
+					cm := r.reqMask & r.qosMasks[qc]
+					for m := cm &^ below; m != 0; m &= m - 1 {
+						r.vaTryGrant(now, bits.TrailingZeros64(m))
+					}
+					for m := cm & below; m != 0; m &= m - 1 {
+						r.vaTryGrant(now, bits.TrailingZeros64(m))
+					}
+				}
+			} else {
+				for m := r.reqMask &^ below; m != 0; m &= m - 1 {
+					r.vaTryGrant(now, bits.TrailingZeros64(m))
+				}
+				for m := r.reqMask & below; m != 0; m &= m - 1 {
+					r.vaTryGrant(now, bits.TrailingZeros64(m))
+				}
 			}
 		}
 		r.vaPtr++
@@ -555,9 +680,12 @@ func (r *Router) vaTryGrant(now int64, flat int) {
 	if !ivc.routed || ivc.granted {
 		return
 	}
+	// The packet's QoS class is static per input VC (see vcQoS); its
+	// output-VC candidates come from the matching partition downstream.
+	qc := int(r.vcQoS[v])
 	bestPort, bestVC, bestClass, bestCred := -1, -1, routing.AnyClass, -1
 	for _, c := range ivc.cands {
-		lo, hi := r.classRange(c.Class)
+		lo, hi := r.classRange(qc, c.Class)
 		for ov := lo; ov < hi; ov++ {
 			o := &r.out[c.Port][ov]
 			if o.owned {
@@ -591,8 +719,11 @@ func (r *Router) vaOrder() []int {
 	defer func() { r.vaScratch = order[:0] }()
 	if r.cfg.Arb == AgeBased {
 		// Oldest front packet first (insertion sort; total is small).
+		// Under strict priority the key is (class, age): all class-0
+		// requests precede class 1, age ordering within each class.
 		type req struct {
 			flat int
+			qc   int8
 			age  int64
 		}
 		reqs := make([]req, 0, total)
@@ -606,16 +737,34 @@ func (r *Router) vaOrder() []int {
 				if !ok {
 					continue
 				}
-				reqs = append(reqs, req{flat: p*r.cfg.VCs + v, age: f.P.CreateTime})
+				q := req{flat: p*r.cfg.VCs + v, age: f.P.CreateTime}
+				if r.strict {
+					q.qc = r.vcQoS[v]
+				}
+				reqs = append(reqs, q)
 			}
 		}
 		for i := 1; i < len(reqs); i++ {
-			for j := i; j > 0 && reqs[j].age < reqs[j-1].age; j-- {
+			for j := i; j > 0 && (reqs[j].qc < reqs[j-1].qc ||
+				(reqs[j].qc == reqs[j-1].qc && reqs[j].age < reqs[j-1].age)); j-- {
 				reqs[j], reqs[j-1] = reqs[j-1], reqs[j]
 			}
 		}
 		for _, q := range reqs {
 			order = append(order, q.flat)
+		}
+		return order
+	}
+	if r.strict {
+		// Class-major rotation: class 0's requests in (vaPtr+i)%total
+		// order, then class 1's, and so on.
+		for qc := int8(0); int(qc) < r.qos; qc++ {
+			for i := 0; i < total; i++ {
+				flat := (r.vaPtr + i) % total
+				if r.vcQoS[flat%r.cfg.VCs] == qc {
+					order = append(order, flat)
+				}
+			}
 		}
 		return order
 	}
@@ -724,13 +873,16 @@ func (r *Router) switchAllocateMask(now int64, iters int) {
 }
 
 // pickInputVC returns the index of the VC at input port p that wins the
-// port's crossbar input this cycle, or -1.
+// port's crossbar input this cycle, or -1. Under strict priority the
+// lowest-class ready VC wins; the configured policy (rotation order or
+// age) breaks ties within the winning class.
 func (r *Router) pickInputVC(p int) int {
 	v := r.cfg.VCs
 	if r.maskHot && r.gntMask>>uint(p*v)&(uint64(1)<<uint(v)-1) == 0 {
 		return -1 // no VC of this port holds a grant, so none is ready
 	}
 	best := -1
+	bestClass := int8(127)
 	var bestAge int64
 	for i := 0; i < v; i++ {
 		cand := r.saInPtr[p] + i
@@ -746,6 +898,22 @@ func (r *Router) pickInputVC(p int) int {
 			continue
 		}
 		if r.out[ivc.outPort][ivc.outVC].credits <= 0 {
+			continue
+		}
+		if r.strict {
+			qc := r.vcQoS[cand]
+			switch {
+			case r.cfg.Arb == AgeBased:
+				if best < 0 || qc < bestClass || (qc == bestClass && f.P.CreateTime < bestAge) {
+					best, bestClass, bestAge = cand, qc, f.P.CreateTime
+				}
+			case qc < bestClass:
+				// First ready VC of the lowest class in rotation order.
+				best, bestClass = cand, qc
+				if qc == 0 {
+					return best
+				}
+			}
 			continue
 		}
 		if r.cfg.Arb == AgeBased {
@@ -767,6 +935,7 @@ func (r *Router) pickInputVC(p int) int {
 // order is unchanged.
 func (r *Router) pickInputPortMask(outP int, nom uint64) int {
 	best := -1
+	bestClass := int8(127)
 	var bestAge int64
 	for i := 0; i < r.ports; i++ {
 		cand := r.saOutPtr[outP] + i
@@ -778,6 +947,22 @@ func (r *Router) pickInputPortMask(outP int, nom uint64) int {
 		}
 		ivc := r.in[cand][r.saInWin[cand]]
 		if ivc.outPort != outP {
+			continue
+		}
+		if r.strict {
+			qc := r.vcQoS[r.saInWin[cand]]
+			switch {
+			case r.cfg.Arb == AgeBased:
+				f, _ := ivc.buf.Peek()
+				if best < 0 || qc < bestClass || (qc == bestClass && f.P.CreateTime < bestAge) {
+					best, bestClass, bestAge = cand, qc, f.P.CreateTime
+				}
+			case qc < bestClass:
+				best, bestClass = cand, qc
+				if qc == 0 {
+					return best
+				}
+			}
 			continue
 		}
 		if r.cfg.Arb == AgeBased {
@@ -794,6 +979,7 @@ func (r *Router) pickInputPortMask(outP int, nom uint64) int {
 
 func (r *Router) pickInputPort(outP int) int {
 	best := -1
+	bestClass := int8(127)
 	var bestAge int64
 	for i := 0; i < r.ports; i++ {
 		cand := r.saOutPtr[outP] + i
@@ -806,6 +992,22 @@ func (r *Router) pickInputPort(outP int) int {
 		}
 		ivc := r.in[cand][v]
 		if ivc.outPort != outP {
+			continue
+		}
+		if r.strict {
+			qc := r.vcQoS[v]
+			switch {
+			case r.cfg.Arb == AgeBased:
+				f, _ := ivc.buf.Peek()
+				if best < 0 || qc < bestClass || (qc == bestClass && f.P.CreateTime < bestAge) {
+					best, bestClass, bestAge = cand, qc, f.P.CreateTime
+				}
+			case qc < bestClass:
+				best, bestClass = cand, qc
+				if qc == 0 {
+					return best
+				}
+			}
 			continue
 		}
 		if r.cfg.Arb == AgeBased {

@@ -58,6 +58,18 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// SummarizeClasses computes one Summary per traffic class from per-class
+// sample slices (index = class number). Empty classes get zero Summaries,
+// so callers can index the result without guarding against classes that
+// produced no measured packets.
+func SummarizeClasses(byClass [][]float64) []Summary {
+	out := make([]Summary, len(byClass))
+	for i, xs := range byClass {
+		out[i] = Summarize(xs)
+	}
+	return out
+}
+
 // Quantile returns the q-quantile (q in [0,1]) of an ascending-sorted
 // sample using linear interpolation. It panics on an empty sample.
 func Quantile(sorted []float64, q float64) float64 {

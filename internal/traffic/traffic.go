@@ -356,6 +356,56 @@ func (h Hotspot) DestWeights(_, n int) []float64 {
 	return w
 }
 
+// Class describes one QoS traffic class of a multi-class mix: its own
+// spatial pattern, its share of the total offered load, and its own packet
+// size distribution. Priority is positional — class 0 of a mix is the
+// highest priority.
+type Class struct {
+	// Name labels the class in results, figures and ledger records.
+	Name string
+	// Share is the class's fraction of the total offered load, in (0, 1].
+	// Shares of a mix sum to 1.
+	Share float64
+	// Pattern maps sources to destinations for this class's packets.
+	Pattern Pattern
+	// Sizes draws this class's packet lengths.
+	Sizes SizeDist
+}
+
+// ValidateClasses checks a class mix: at least one class, positive shares
+// summing to 1 (within floating-point slack), non-nil pattern and sizes,
+// and unique names.
+func ValidateClasses(classes []Class) error {
+	if len(classes) == 0 {
+		return fmt.Errorf("traffic: class mix is empty")
+	}
+	seen := make(map[string]bool, len(classes))
+	var sum float64
+	for i, c := range classes {
+		if c.Name == "" {
+			return fmt.Errorf("traffic: class %d has no name", i)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("traffic: duplicate class name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Share <= 0 || c.Share > 1 {
+			return fmt.Errorf("traffic: class %q share %g outside (0, 1]", c.Name, c.Share)
+		}
+		if c.Pattern == nil {
+			return fmt.Errorf("traffic: class %q has no pattern", c.Name)
+		}
+		if c.Sizes == nil {
+			return fmt.Errorf("traffic: class %q has no size distribution", c.Name)
+		}
+		sum += c.Share
+	}
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		return fmt.Errorf("traffic: class shares sum to %g, want 1", sum)
+	}
+	return nil
+}
+
 // Process is the temporal side of open-loop traffic: it decides, cycle by
 // cycle and per source, whether a new packet is generated.
 type Process interface {

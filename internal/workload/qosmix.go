@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"noceval/internal/traffic"
+)
+
+// Named QoS traffic-class mixes: ready-made multi-class workloads for the
+// open-loop harness, modeled on the service classes of CMP interconnects —
+// short latency-critical control/coherence traffic sharing the network
+// with long bulk transfers. Index 0 is the highest priority class.
+
+// qosMixes holds the built-in presets. Shares sum to 1 within each mix
+// (traffic.ValidateClasses enforces it at run time; the test re-checks).
+var qosMixes = map[string][]traffic.Class{
+	// Latency-critical single-flit traffic over bulk bimodal transfers:
+	// the canonical two-class QoS demonstration.
+	"latency-bulk": {
+		{Name: "latency", Share: 0.2, Pattern: traffic.Uniform{}, Sizes: traffic.FixedSize(1)},
+		{Name: "bulk", Share: 0.8, Pattern: traffic.Uniform{}, Sizes: traffic.DefaultBimodal()},
+	},
+	// A three-class mix: scarce control messages, coherence-style data
+	// replies, and background bulk traffic.
+	"control-data-bulk": {
+		{Name: "control", Share: 0.1, Pattern: traffic.Uniform{}, Sizes: traffic.FixedSize(1)},
+		{Name: "data", Share: 0.4, Pattern: traffic.Uniform{}, Sizes: traffic.FixedSize(1)},
+		{Name: "bulk", Share: 0.5, Pattern: traffic.Uniform{}, Sizes: traffic.DefaultBimodal()},
+	},
+	// Control traffic protected from an adversarial bulk pattern:
+	// transpose concentrates bulk load on few channels, which is exactly
+	// where priority protection earns its keep.
+	"control-transpose": {
+		{Name: "control", Share: 0.25, Pattern: traffic.Uniform{}, Sizes: traffic.FixedSize(1)},
+		{Name: "bulk", Share: 0.75, Pattern: traffic.Transpose{}, Sizes: traffic.DefaultBimodal()},
+	},
+}
+
+// QoSMixByName returns a copy of the named QoS class mix.
+func QoSMixByName(name string) ([]traffic.Class, error) {
+	mix, ok := qosMixes[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown QoS mix %q (have %v)", name, QoSMixNames())
+	}
+	return append([]traffic.Class(nil), mix...), nil
+}
+
+// QoSMixNames returns the preset names in sorted order.
+func QoSMixNames() []string {
+	names := make([]string, 0, len(qosMixes))
+	for n := range qosMixes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"testing"
+
+	"noceval/internal/traffic"
+)
+
+// TestQoSMixesValid runs every built-in mix through the traffic-layer
+// validator: names unique, shares in (0,1] summing to 1, patterns and
+// sizes present.
+func TestQoSMixesValid(t *testing.T) {
+	names := QoSMixNames()
+	if len(names) == 0 {
+		t.Fatal("no QoS mix presets")
+	}
+	for _, name := range names {
+		mix, err := QoSMixByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := traffic.ValidateClasses(mix); err != nil {
+			t.Errorf("%s: invalid mix: %v", name, err)
+		}
+	}
+}
+
+func TestQoSMixUnknown(t *testing.T) {
+	if _, err := QoSMixByName("no-such-mix"); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}
+
+// TestQoSMixCopy: mutating the returned slice must not corrupt the preset.
+func TestQoSMixCopy(t *testing.T) {
+	a, _ := QoSMixByName("latency-bulk")
+	a[0].Share = 0.99
+	b, _ := QoSMixByName("latency-bulk")
+	if b[0].Share == 0.99 {
+		t.Error("preset mutated through returned slice")
+	}
+}

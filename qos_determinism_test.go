@@ -1,0 +1,178 @@
+package noceval
+
+// Multi-class determinism matrix: the QoS refactor threads a class
+// dimension through injection, arbitration, and accounting, and every
+// bit-identity guarantee the single-class stack pins must carry over —
+// cross-engine (legacy full scan vs active set) and across shard counts,
+// for both 2- and 3-class mixes. A fault-invariant pass runs the
+// conservation oracle with classes and a lossy fabric enabled together,
+// since retransmission clones must preserve the class stamp.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"noceval/internal/core"
+	"noceval/internal/fault"
+	"noceval/internal/fault/invariants"
+	"noceval/internal/network"
+	"noceval/internal/obs"
+	"noceval/internal/openloop"
+	"noceval/internal/traffic"
+)
+
+// qosMatrixParams enumerates the class mixes the matrix runs: a 2-class
+// priority/bulk split and a 3-class mix with a non-uniform pattern in the
+// middle class (classes may disagree on pattern and size distribution).
+func qosMatrixParams() []core.NetworkParams {
+	two := core.Baseline()
+	two.VCs = 4
+	two.Classes = []core.ClassSpec{
+		{Name: "hi", Share: 0.3},
+		{Name: "lo", Share: 0.7, Sizes: "bimodal"},
+	}
+	three := core.Baseline()
+	three.VCs = 6
+	three.Classes = []core.ClassSpec{
+		{Name: "ctl", Share: 0.1},
+		{Name: "data", Share: 0.4, Pattern: "transpose"},
+		{Name: "bulk", Share: 0.5, Sizes: "bimodal"},
+	}
+	return []core.NetworkParams{two, three}
+}
+
+// qosOpenLoop runs one multi-class open-loop measurement on the given
+// network config, with the class list resolved from p.
+func qosOpenLoop(t *testing.T, p core.NetworkParams, cfg network.Config, fullScan bool) (*openloop.Result, *obs.Telemetry) {
+	t.Helper()
+	pat, err := p.BuildPattern()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, err := p.BuildSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := p.BuildClasses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewObserver(obs.Options{Metrics: true, SampleEvery: 250})
+	res, err := openloop.Run(openloop.Config{
+		Net: cfg, Pattern: pat, Sizes: sizes, Classes: classes, Rate: 0.12,
+		Warmup: 500, Measure: 2000, DrainLimit: 10000, Seed: 42,
+		Obs: o, FullScan: fullScan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, o.Telemetry
+}
+
+// TestQoSCrossEngineDeterminism pins the multi-class stack across the two
+// cycle engines: per-class injection order, strict-priority allocation,
+// and per-class accounting must be identical under the legacy full scan
+// and the active-set fast-forward path.
+func TestQoSCrossEngineDeterminism(t *testing.T) {
+	for _, p := range qosMatrixParams() {
+		p.Shards = core.EnvShards()
+		t.Run(fmt.Sprintf("classes=%d", len(p.Classes)), func(t *testing.T) {
+			cfg, err := p.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			resFull, telFull := qosOpenLoop(t, p, cfg, true)
+			resActive, telActive := qosOpenLoop(t, p, cfg, false)
+			if len(resFull.PerClass) != len(p.Classes) {
+				t.Fatalf("expected %d per-class results, got %d", len(p.Classes), len(resFull.PerClass))
+			}
+			if !reflect.DeepEqual(resFull, resActive) {
+				t.Errorf("multi-class results diverge:\nfullscan:  %+v\nactiveset: %+v", resFull, resActive)
+			}
+			if !reflect.DeepEqual(telFull, telActive) {
+				t.Errorf("multi-class telemetry diverges: fullscan %d router samples, activeset %d",
+					len(telFull.Routers), len(telActive.Routers))
+			}
+		})
+	}
+}
+
+// TestQoSShardedDeterminism pins the multi-class stack across shard
+// counts: the sharded gang must produce the same per-class results and
+// telemetry as the sequential loop, bit for bit.
+func TestQoSShardedDeterminism(t *testing.T) {
+	for _, base := range qosMatrixParams() {
+		for _, shards := range []int{2, 4} {
+			p := base
+			p.Shards = 1
+			cfgSeq, err := p.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Shards = shards
+			cfgSh, err := p.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Run(fmt.Sprintf("classes=%d/shards=%d", len(p.Classes), shards), func(t *testing.T) {
+				resSeq, telSeq := qosOpenLoop(t, p, cfgSeq, false)
+				resSh, telSh := qosOpenLoop(t, p, cfgSh, false)
+				if !reflect.DeepEqual(resSeq, resSh) {
+					t.Errorf("multi-class results diverge:\nsequential: %+v\nsharded:    %+v", resSeq, resSh)
+				}
+				if !reflect.DeepEqual(telSeq, telSh) {
+					t.Errorf("multi-class telemetry diverges: sequential %d router samples, sharded %d",
+						len(telSeq.Routers), len(telSh.Routers))
+				}
+			})
+		}
+	}
+}
+
+// TestQoSFaultInvariants runs the conservation oracle on a lossy fabric
+// with QoS classes enabled: drops, corruption retries, and NIC
+// retransmission must keep flit/credit conservation intact when the VC
+// space is partitioned and arbitration is strict-priority. Both engines
+// run, and their results must also agree with each other.
+func TestQoSFaultInvariants(t *testing.T) {
+	for _, p := range qosMatrixParams() {
+		p.Shards = core.EnvShards()
+		p.Fault = &fault.Params{
+			CorruptRate: 1e-3, DropRate: 1e-3,
+			Timeout: 300, MaxRetries: 6, Seed: 17,
+		}
+		t.Run(fmt.Sprintf("classes=%d", len(p.Classes)), func(t *testing.T) {
+			cfg, err := p.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			classes, err := p.BuildClasses()
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(fullScan bool) *openloop.Result {
+				res, err := openloop.Run(openloop.Config{
+					Net: cfg, Pattern: traffic.Uniform{}, Sizes: traffic.FixedSize(1),
+					Classes: classes, Rate: 0.1,
+					Warmup: 500, Measure: 1000, DrainLimit: 400_000,
+					Seed: 42, FullScan: fullScan,
+					Inspect: func(n *network.Network) {
+						if err := invariants.Check(n); err != nil {
+							t.Errorf("fullscan=%v: %v", fullScan, err)
+						}
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			resFull := run(true)
+			resActive := run(false)
+			if !reflect.DeepEqual(resFull, resActive) {
+				t.Errorf("faulted multi-class results diverge:\nfullscan:  %+v\nactiveset: %+v", resFull, resActive)
+			}
+		})
+	}
+}
