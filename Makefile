@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check lint test race fuzz-smoke golden golden-update check bench bench-compare bench-gate bench-baseline obs-smoke screen-smoke qos-smoke figures ablations examples clean
+.PHONY: all build vet fmt-check lint test race fuzz-smoke golden golden-update check bench bench-compare bench-gate bench-baseline obs-smoke screen-smoke qos-smoke serve-smoke figures ablations examples clean
 
 all: build vet test
 
@@ -85,9 +85,17 @@ qos-smoke:
 	$(GO) test . -run 'TestQoS' -count=1
 	$(GO) test ./cmd/figures -run TestGoldenFigures -count=1
 
+# Experiment-service smoke: boot nocd with cache + ledger, drive it with
+# nocload (prime, coalescing burst, cached throughput gate at >= 100
+# req/s), assert the coalesce and cache-hit counters via /metrics, and
+# require a clean SIGTERM drain. MIN_RPS=50 make serve-smoke to loosen
+# the gate on a slow machine.
+serve-smoke:
+	./scripts/serve-smoke.sh
+
 # Tier-1 gate: everything that must stay green. The golden regression
 # test runs as part of `test` (cmd/figures); `golden` re-runs it verbosely.
-check: build vet fmt-check lint test race obs-smoke screen-smoke qos-smoke
+check: build vet fmt-check lint test race obs-smoke screen-smoke qos-smoke serve-smoke
 
 # One testing.B per paper table/figure; each reports its headline metric.
 bench:

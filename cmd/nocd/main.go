@@ -1,0 +1,112 @@
+// Command nocd is the long-running experiment service: a multi-tenant
+// HTTP server that accepts declarative experiment specs (the same JSON
+// `noceval run -config` consumes), schedules them on a bounded worker
+// pool, coalesces identical in-flight submissions onto one simulation,
+// and serves results, live job state (polling and SSE), and Prometheus
+// metrics.
+//
+//	nocd -addr :9640 -workers 4 -queue 64 -job-timeout 2m \
+//	     -cache -cache-dir .expcache -ledger runs.jsonl
+//
+// Endpoints (see internal/service):
+//
+//	POST /jobs               submit a spec; identical in-flight specs
+//	                         coalesce onto one job
+//	GET  /jobs               dashboard of all jobs + scheduler state
+//	GET  /jobs/{id}          job state and result
+//	POST /jobs/{id}/cancel   cancel a queued or running job
+//	GET  /jobs/{id}/events   SSE stream of state transitions
+//	GET  /metrics            Prometheus text format
+//	GET  /metrics.json       metrics snapshot as JSON
+//	GET  /healthz            liveness (503 while draining)
+//
+// Shutdown is two-stage: the first SIGTERM/SIGINT drains (stop intake,
+// finish accepted jobs), a second signal aborts in-flight jobs through
+// their contexts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"noceval/internal/core"
+	"noceval/internal/obs"
+	"noceval/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":9640", "listen address (\":0\" picks a free port)")
+	workers := flag.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "bounded job queue; submissions beyond it get 503")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock timeout (0 = none)")
+	cache := flag.Bool("cache", false, "serve repeated specs from the on-disk experiment cache")
+	cacheDir := flag.String("cache-dir", ".expcache", "experiment cache directory (with -cache)")
+	ledgerPath := flag.String("ledger", "", "append one JSONL record per experiment run to this file")
+	screen := flag.Bool("screen", false, "analytically screen sweep jobs (output is bit-identical)")
+	flag.Parse()
+
+	// The service serves /metrics itself, so the registry is always on:
+	// job counters, per-endpoint HTTP metrics, engine and cache traffic
+	// all publish into it.
+	if obs.Default() == nil {
+		obs.SetDefault(obs.NewRegistry())
+	}
+	if *ledgerPath != "" {
+		if err := core.EnableLedger(*ledgerPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer core.DisableLedger()
+	}
+	if *cache {
+		if err := core.EnableCache(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *screen {
+		core.EnableScreening()
+	}
+
+	svc := service.New(service.Config{
+		Workers:    *workers,
+		Queue:      *queue,
+		JobTimeout: *jobTimeout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	fmt.Printf("nocd listening on http://%s\n", ln.Addr())
+	go httpSrv.Serve(ln)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "nocd: draining — accepted jobs will finish (signal again to abort)")
+	drained := make(chan struct{})
+	go func() {
+		svc.Drain()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "nocd: aborting in-flight jobs")
+		svc.Abort()
+		<-drained
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	fmt.Fprintln(os.Stderr, "nocd: shut down cleanly")
+}

@@ -1,6 +1,7 @@
 package closedloop
 
 import (
+	"context"
 	"fmt"
 
 	"noceval/internal/engine"
@@ -21,6 +22,8 @@ type BarrierConfig struct {
 	Net     network.Config
 	Pattern traffic.Pattern
 	Sizes   traffic.SizeDist
+	// Ctx, when non-nil, makes the run cancellable (see openloop.Config.Ctx).
+	Ctx context.Context
 
 	// B is the number of packets each node sends per phase.
 	B int
@@ -99,12 +102,17 @@ func RunBarrier(cfg BarrierConfig) (*BarrierResult, error) {
 	net.SetFullScan(cfg.FullScan)
 	eo := engine.RunOutcome(engine.Config{
 		Net:      net,
+		Ctx:      cfg.Ctx,
 		Deadline: cfg.MaxCycles,
 		FullScan: cfg.FullScan,
 	}, d)
 	completed := eo.Completed
 	if cfg.OnEngine != nil {
 		cfg.OnEngine(eo)
+	}
+	if eo.Canceled {
+		net.Close()
+		return nil, fmt.Errorf("closedloop: barrier run canceled at cycle %d: %w", eo.End, context.Cause(cfg.Ctx))
 	}
 	res.Runtime = net.Now()
 	if fs := net.FaultStats(); fs != nil {

@@ -2,6 +2,7 @@ package closedloop
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,6 +39,10 @@ type KernelConfig struct {
 type BatchConfig struct {
 	Net     network.Config
 	Pattern traffic.Pattern
+	// Ctx, when non-nil, makes the run cancellable (see openloop.Config.Ctx):
+	// a cancelled run returns a nil result with an error wrapping the
+	// context's cause.
+	Ctx context.Context
 
 	// B is the batch size b: remote operations each node must complete.
 	B int
@@ -494,6 +499,7 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 	net.SetFullScan(cfg.FullScan)
 	eo := engine.RunOutcome(engine.Config{
 		Net:      net,
+		Ctx:      cfg.Ctx,
 		Deadline: cfg.MaxCycles,
 		Progress: cfg.Progress,
 		FullScan: cfg.FullScan,
@@ -505,6 +511,10 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 	res.Completed = eo.Completed
 	if cfg.OnEngine != nil {
 		cfg.OnEngine(eo)
+	}
+	if eo.Canceled {
+		net.Close()
+		return nil, fmt.Errorf("closedloop: batch run canceled at cycle %d: %w", eo.End, context.Cause(cfg.Ctx))
 	}
 	cfg.Progress.Done(net.Now())
 

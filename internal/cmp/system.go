@@ -2,6 +2,7 @@ package cmp
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"noceval/internal/engine"
@@ -12,6 +13,12 @@ import (
 // Config describes a CMP system (defaults follow Table II).
 type Config struct {
 	Tiles int
+
+	// Ctx, when non-nil, makes the run cancellable: the engine polls it at
+	// fast-forward boundaries and every ~1k stepped cycles, and a
+	// cancelled run returns with Result.Canceled set (and Completed
+	// false).
+	Ctx context.Context
 
 	L1Size, L1Ways int
 	L2SizePerTile  int
@@ -78,6 +85,9 @@ type TimelineSample struct {
 type Result struct {
 	Cycles    int64
 	Completed bool
+	// Canceled reports that Config.Ctx aborted the run mid-flight; the
+	// partial statistics below must not be interpreted or cached.
+	Canceled bool `json:",omitempty"`
 
 	UserInsts   int64
 	KernelInsts int64
@@ -252,11 +262,14 @@ func (s *System) done() bool {
 // the injection process, and the run ends when every core retires its
 // program and the memory system drains.
 func (s *System) Run() *Result {
-	_, completed := engine.Run(engine.Config{
+	eo := engine.RunOutcome(engine.Config{
 		Net:      s.fabric,
+		Ctx:      s.cfg.Ctx,
 		Deadline: s.cfg.MaxCycles,
 	}, s)
-	return s.result(completed)
+	res := s.result(eo.Completed)
+	res.Canceled = eo.Canceled
+	return res
 }
 
 // Cycle implements engine.Driver: timer interrupts, completed home

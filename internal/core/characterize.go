@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"noceval/internal/closedloop"
@@ -45,13 +46,20 @@ type BenchmarkModel struct {
 // "after determining the rate of the periodic timer interrupt from the
 // execution-driven simulations".
 func Characterize(bench string, clock workload.Clock, seed uint64) (*BenchmarkModel, error) {
+	return CharacterizeCtx(nil, bench, clock, seed)
+}
+
+// CharacterizeCtx is Characterize with a cancellation context (nil
+// behaves like Characterize): both underlying execution-driven runs are
+// cancellable.
+func CharacterizeCtx(ctx context.Context, bench string, clock workload.Clock, seed uint64) (*BenchmarkModel, error) {
 	prof, err := workload.ByName(bench)
 	if err != nil {
 		return nil, err
 	}
 	base := ExecParams{Benchmark: bench, Clock: clock, Ideal: true, Seed: seed}
 
-	noTimer, err := Exec(NetworkParams{}, base)
+	noTimer, err := ExecCtx(ctx, NetworkParams{}, base)
 	if err != nil {
 		return nil, fmt.Errorf("core: characterize %s (no timer): %w", bench, err)
 	}
@@ -60,7 +68,7 @@ func Characterize(bench string, clock workload.Clock, seed uint64) (*BenchmarkMo
 	if timerPeriod > 0 {
 		t := base
 		t.Timer = true
-		withTimer, err = Exec(NetworkParams{}, t)
+		withTimer, err = ExecCtx(ctx, NetworkParams{}, t)
 		if err != nil {
 			return nil, fmt.Errorf("core: characterize %s (timer): %w", bench, err)
 		}

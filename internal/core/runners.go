@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"noceval/internal/closedloop"
@@ -31,6 +32,11 @@ func OpenLoop(p NetworkParams, rate float64) (*openloop.Result, error) {
 // re-simulate them on every push.
 type OpenLoopOpts struct {
 	Warmup, Measure, DrainLimit int64
+	// Ctx, when non-nil, makes the run — or every point of a sweep built
+	// on these options — cancellable: a cancelled run returns promptly
+	// with an error wrapping the context's cause, and nothing is cached.
+	// Never part of the experiment-cache key.
+	Ctx context.Context
 }
 
 // OpenLoopWith is OpenLoop with explicit phase lengths.
@@ -101,6 +107,7 @@ func openLoopConfig(p NetworkParams, o OpenLoopOpts) (openloop.Config, error) {
 		Measure:    o.Measure,
 		DrainLimit: o.DrainLimit,
 		Seed:       p.Seed,
+		Ctx:        o.Ctx,
 	}, nil
 }
 
@@ -200,6 +207,9 @@ type BatchParams struct {
 	Kernel *closedloop.KernelConfig
 	// Hooks attaches the observability layer.
 	Hooks Hooks
+	// Ctx, when non-nil, makes the run cancellable (see OpenLoopOpts.Ctx).
+	// Never part of the experiment-cache key.
+	Ctx context.Context
 }
 
 // Batch runs one closed-loop batch-model measurement.
@@ -231,6 +241,7 @@ func Batch(p NetworkParams, bp BatchParams) (*closedloop.BatchResult, error) {
 			Seed:     p.Seed,
 			Obs:      bp.Hooks.Obs,
 			Progress: bp.Hooks.Progress,
+			Ctx:      bp.Ctx,
 		}
 		if s != nil {
 			cfg.OnEngine = s.onEngine
@@ -265,6 +276,13 @@ func Batch(p NetworkParams, bp BatchParams) (*closedloop.BatchResult, error) {
 
 // Barrier runs one closed-loop barrier-model measurement.
 func Barrier(p NetworkParams, b, phases int) (*closedloop.BarrierResult, error) {
+	return BarrierCtx(nil, p, b, phases)
+}
+
+// BarrierCtx is Barrier with a cancellation context (nil behaves like
+// Barrier). A cancelled run returns promptly with an error wrapping the
+// context's cause, and nothing is cached.
+func BarrierCtx(ctx context.Context, p NetworkParams, b, phases int) (*closedloop.BarrierResult, error) {
 	netCfg, err := p.Build()
 	if err != nil {
 		return nil, err
@@ -288,6 +306,7 @@ func Barrier(p NetworkParams, b, phases int) (*closedloop.BarrierResult, error) 
 			B:       b,
 			Phases:  phases,
 			Seed:    p.Seed,
+			Ctx:     ctx,
 		}
 		if s != nil {
 			cfg.OnEngine = s.onEngine
@@ -324,6 +343,13 @@ type ExecParams struct {
 // network parameters select the interconnect; the paper's Table II setup is
 // a 4x4 mesh with 8 VCs and 4-flit buffers.
 func Exec(p NetworkParams, ep ExecParams) (*cmp.Result, error) {
+	return ExecCtx(nil, p, ep)
+}
+
+// ExecCtx is Exec with a cancellation context (nil behaves like Exec). A
+// cancelled run returns promptly with an error wrapping the context's
+// cause, and nothing is cached. The context never enters the cache key.
+func ExecCtx(ctx context.Context, p NetworkParams, ep ExecParams) (*cmp.Result, error) {
 	prof, err := workload.ByName(ep.Benchmark)
 	if err != nil {
 		return nil, err
@@ -337,7 +363,7 @@ func Exec(p NetworkParams, ep ExecParams) (*cmp.Result, error) {
 	s := beginRun("exec")
 	s.spec(key)
 	res, consulted, hit, err := cachedInfo("exec", key, func() (*cmp.Result, error) {
-		return execProfile(p, ep, prof)
+		return execProfile(ctx, p, ep, prof)
 	})
 	s.cache(consulted, hit)
 	// The CMP system owns its own engine loop, so exec records carry no
@@ -350,8 +376,9 @@ func Exec(p NetworkParams, ep ExecParams) (*cmp.Result, error) {
 	return res, err
 }
 
-func execProfile(p NetworkParams, ep ExecParams, prof workload.Profile) (*cmp.Result, error) {
+func execProfile(ctx context.Context, p NetworkParams, ep ExecParams, prof workload.Profile) (*cmp.Result, error) {
 	cfg := cmp.DefaultConfig()
+	cfg.Ctx = ctx
 	cfg.SampleInterval = ep.SampleInterval
 	cfg.CollectMatrix = ep.CollectMatrix
 	if ep.Timer {
@@ -383,6 +410,10 @@ func execProfile(p NetworkParams, ep ExecParams, prof workload.Profile) (*cmp.Re
 	}
 	prof.Warm(sys, cfg.Tiles)
 	res := sys.Run()
+	if res.Canceled {
+		return nil, fmt.Errorf("core: execution-driven run of %s canceled at cycle %d: %w",
+			prof.Name, res.Cycles, context.Cause(ctx))
+	}
 	if !res.Completed {
 		return res, fmt.Errorf("core: execution-driven run of %s hit the cycle limit", prof.Name)
 	}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
 
 	"noceval/internal/closedloop"
+	"noceval/internal/expcache"
 	"noceval/internal/workload"
 )
 
@@ -23,6 +25,14 @@ type ExperimentSpec struct {
 	// Open-loop settings.
 	Rate  float64   `json:"rate,omitempty"`
 	Rates []float64 `json:"rates,omitempty"`
+	// Open-loop phase-length overrides in cycles (openloop and sweep
+	// kinds); zero keeps the methodology defaults (10k warmup, 10k
+	// measure, 100k drain limit). The experiment cache normalizes the zero
+	// and explicit-default spellings onto one entry, so adding these to a
+	// spec never forks cache keys for default-phase runs.
+	Warmup     int64 `json:"warmup,omitempty"`
+	Measure    int64 `json:"measure,omitempty"`
+	DrainLimit int64 `json:"drainLimit,omitempty"`
 
 	// Closed-loop settings.
 	B      int                      `json:"b,omitempty"`
@@ -103,15 +113,78 @@ func (s *ExperimentSpec) clock() (workload.Clock, error) {
 	}
 }
 
+// Hash returns the spec's content address: the SHA-256 over the
+// canonical JSON encoding, salted with the cache schema version — the key
+// the experiment service coalesces identical in-flight submissions by and
+// stamps job records with. Two specs hash equal iff a ParseSpec round
+// trip leaves them identical, so the hash is stable across processes and
+// sessions the same way experiment-cache keys are.
+func (s *ExperimentSpec) Hash() (string, error) {
+	k, err := expcache.KeyFor(CacheSchemaVersion, "spec", s)
+	if err != nil {
+		return "", err
+	}
+	return k.Hash(), nil
+}
+
+// Validate materializes everything the spec names — kind, network,
+// pattern, sizes, QoS classes, reply model, clock, benchmark — without
+// running anything, returning exactly the error Run would fail with. The
+// experiment service calls it at submission time so a bad spec is a
+// synchronous 400 instead of a job that fails minutes later.
+func (s *ExperimentSpec) Validate() error {
+	switch s.Kind {
+	case "openloop":
+		if s.Rate <= 0 {
+			return fmt.Errorf("core: openloop spec needs a positive rate")
+		}
+	case "sweep", "batch", "barrier":
+	case "exec", "characterize":
+		if _, err := s.clock(); err != nil {
+			return err
+		}
+		if _, err := workload.ByName(s.Benchmark); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("core: unknown experiment kind %q", s.Kind)
+	}
+	if _, err := s.Network.Build(); err != nil {
+		return err
+	}
+	if _, err := s.Network.BuildPattern(); err != nil {
+		return err
+	}
+	if _, err := s.Network.BuildSizes(); err != nil {
+		return err
+	}
+	if _, err := s.Network.BuildClasses(); err != nil {
+		return err
+	}
+	if _, err := s.Reply.Build(); err != nil {
+		return err
+	}
+	return nil
+}
+
 // Run executes the experiment and returns a human-readable report.
 func (s *ExperimentSpec) Run() (string, error) {
+	return s.RunContext(nil)
+}
+
+// RunContext is Run with a cancellation context (nil behaves like Run):
+// the context is threaded into the engine's cycle loop, so a cancelled
+// experiment — even a multi-point sweep — returns promptly with an error
+// wrapping the context's cause, and no partial result is cached.
+func (s *ExperimentSpec) RunContext(ctx context.Context) (string, error) {
 	var b strings.Builder
+	opts := OpenLoopOpts{Warmup: s.Warmup, Measure: s.Measure, DrainLimit: s.DrainLimit, Ctx: ctx}
 	switch s.Kind {
 	case "openloop":
 		if s.Rate <= 0 {
 			return "", fmt.Errorf("core: openloop spec needs a positive rate")
 		}
-		res, err := OpenLoop(s.Network, s.Rate)
+		res, err := OpenLoopWith(s.Network, s.Rate, opts)
 		if err != nil {
 			return "", err
 		}
@@ -125,7 +198,7 @@ func (s *ExperimentSpec) Run() (string, error) {
 				rates = append(rates, r)
 			}
 		}
-		results, err := OpenLoopSweep(s.Network, rates)
+		results, err := OpenLoopSweepWith(s.Network, rates, opts)
 		if err != nil {
 			return "", err
 		}
@@ -138,7 +211,7 @@ func (s *ExperimentSpec) Run() (string, error) {
 		if err != nil {
 			return "", err
 		}
-		res, err := Batch(s.Network, BatchParams{B: s.B, M: s.M, NAR: s.NAR, Reply: reply, Kernel: s.Kernel})
+		res, err := Batch(s.Network, BatchParams{B: s.B, M: s.M, NAR: s.NAR, Reply: reply, Kernel: s.Kernel, Ctx: ctx})
 		if err != nil {
 			return "", err
 		}
@@ -150,7 +223,7 @@ func (s *ExperimentSpec) Run() (string, error) {
 		if phases == 0 {
 			phases = 1
 		}
-		res, err := Barrier(s.Network, s.B, phases)
+		res, err := BarrierCtx(ctx, s.Network, s.B, phases)
 		if err != nil {
 			return "", err
 		}
@@ -161,7 +234,7 @@ func (s *ExperimentSpec) Run() (string, error) {
 		if err != nil {
 			return "", err
 		}
-		res, err := Exec(s.Network, ExecParams{
+		res, err := ExecCtx(ctx, s.Network, ExecParams{
 			Benchmark: s.Benchmark, Clock: clock, Timer: s.Timer, Ideal: s.Ideal, Seed: s.Seed,
 		})
 		if err != nil {
@@ -175,7 +248,7 @@ func (s *ExperimentSpec) Run() (string, error) {
 		if err != nil {
 			return "", err
 		}
-		m, err := Characterize(s.Benchmark, clock, s.Seed)
+		m, err := CharacterizeCtx(ctx, s.Benchmark, clock, s.Seed)
 		if err != nil {
 			return "", err
 		}

@@ -116,3 +116,63 @@ func TestSpecKernelConfigRoundTrip(t *testing.T) {
 		t.Errorf("report missing kernel packets: %q", report)
 	}
 }
+
+// TestSpecErrorMessages pins the exact error text a bad spec produces
+// through the ParseSpec -> Validate path — the same two calls the
+// experiment service makes at submission time, so these strings are
+// precisely what nocd's HTTP 400 bodies surface to clients. A wording
+// change here is an API change; update deliberately.
+func TestSpecErrorMessages(t *testing.T) {
+	// check mirrors service.Submit: parse errors win, then validation.
+	check := func(body string) string {
+		spec, err := ParseSpec([]byte(body))
+		if err != nil {
+			return err.Error()
+		}
+		if err := spec.Validate(); err != nil {
+			return err.Error()
+		}
+		return ""
+	}
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"truncated json", `{`,
+			"core: bad experiment spec: unexpected EOF"},
+		{"unknown field", `{"kind":"openloop","rete":0.1}`,
+			`core: bad experiment spec: json: unknown field "rete"`},
+		{"wrong field type", `{"kind":5}`,
+			"core: bad experiment spec: json: cannot unmarshal number into Go struct field ExperimentSpec.kind of type string"},
+		{"unknown kind", `{"kind":"warp"}`,
+			`core: unknown experiment kind "warp"`},
+		{"openloop without rate", `{"kind":"openloop"}`,
+			"core: openloop spec needs a positive rate"},
+		{"unknown clock", `{"kind":"exec","clock":"9thz"}`,
+			`core: unknown clock "9thz"`},
+		{"unknown benchmark", `{"kind":"exec","benchmark":"quake"}`,
+			`workload: unknown benchmark "quake"`},
+		{"unknown topology", `{"kind":"openloop","rate":0.1,"network":{"Topology":"hypercube"}}`,
+			`topology: unknown topology "hypercube"`},
+		{"unknown pattern", `{"kind":"openloop","rate":0.1,"network":{"Pattern":"blizzard"}}`,
+			`traffic: unknown pattern "blizzard"`},
+		{"unknown routing", `{"kind":"openloop","rate":0.1,"network":{"Routing":"chaos"}}`,
+			`routing: unknown algorithm "chaos"`},
+		{"unknown arbitration", `{"kind":"openloop","rate":0.1,"network":{"Arb":"lottery"}}`,
+			`core: unknown arbitration "lottery"`},
+		{"unknown size mix", `{"kind":"openloop","rate":0.1,"network":{"Sizes":"jumbo"}}`,
+			`core: unknown packet size mix "jumbo"`},
+		{"unknown reply model", `{"kind":"barrier","reply":{"type":"psychic"}}`,
+			`core: unknown reply model "psychic"`},
+		{"valid spec has no error", `{"kind":"openloop","rate":0.1}`,
+			""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := check(tc.body); got != tc.want {
+				t.Errorf("error = %q\n      want %q", got, tc.want)
+			}
+		})
+	}
+}

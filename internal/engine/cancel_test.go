@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRunCanceledBeforeFirstCycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	net := &fakeNet{sampleAt: -1}
+	d := &fakeDriver{doneAt: 5}
+	o := RunOutcome(Config{Net: net, Ctx: ctx}, d)
+	if !o.Canceled || o.Completed {
+		t.Fatalf("outcome = %+v, want Canceled, not Completed", o)
+	}
+	if len(net.stepped) != 0 {
+		t.Fatalf("stepped %v after pre-cancelled context, want none", net.stepped)
+	}
+}
+
+func TestRunCancelMidRunBoundedLatency(t *testing.T) {
+	// Cancel from inside Cycle at cycle 10: the engine may finish the
+	// current poll window but must return within cancelCheckEvery further
+	// cycles, long before the 10x-larger deadline.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	net := &fakeNet{sampleAt: -1}
+	d := &fakeDriver{doneAt: -1}
+	base := d.Cycle
+	wrapped := &hookDriver{fakeDriver: d, onCycle: func(now int64) {
+		base(now)
+		if now == 10 {
+			cancel()
+		}
+	}}
+	o := RunOutcome(Config{Net: net, Ctx: ctx, Deadline: 10 * cancelCheckEvery}, wrapped)
+	if !o.Canceled || o.Completed {
+		t.Fatalf("outcome = %+v, want Canceled, not Completed", o)
+	}
+	if o.End > 10+cancelCheckEvery+1 {
+		t.Fatalf("run ended at %d, want within %d cycles of the cancel at 10", o.End, cancelCheckEvery)
+	}
+}
+
+func TestRunCancelRepolledAtFastForwardBoundary(t *testing.T) {
+	// The context is cancelled during a fast-forward jump. The jump can
+	// cross an arbitrary stretch of simulated time, so the engine must
+	// re-poll at the landing cycle instead of waiting out the remainder of
+	// its cancelCheckEvery countdown: no cycle after the jump may step.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	net := &cancelOnSkipNet{cancel: cancel}
+	net.quiescent = true
+	net.sampleAt = -1
+	d := &fakeDriver{
+		doneAt: -1,
+		idle:   func(now int64) bool { return now < 5000 },
+		next:   func(int64) int64 { return 5000 },
+	}
+	o := RunOutcome(Config{Net: net, Ctx: ctx, Deadline: 100_000}, d)
+	if !o.Canceled {
+		t.Fatalf("outcome = %+v, want Canceled", o)
+	}
+	if o.End != 5000 || len(net.stepped) != 0 {
+		t.Fatalf("end = %d, stepped = %v; want the run to stop at the skip target with no stepped cycles",
+			o.End, net.stepped)
+	}
+}
+
+// hookDriver wraps fakeDriver with a Cycle hook (to cancel mid-run).
+type hookDriver struct {
+	*fakeDriver
+	onCycle func(now int64)
+}
+
+func (h *hookDriver) Cycle(now int64) { h.onCycle(now) }
+
+// cancelOnSkipNet cancels its context from inside SkipTo, modelling a
+// cancellation that lands while the engine is mid-jump.
+type cancelOnSkipNet struct {
+	fakeNet
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnSkipNet) SkipTo(cycle int64) {
+	c.fakeNet.SkipTo(cycle)
+	c.cancel()
+}

@@ -17,7 +17,11 @@
 // determinism regression tests and the golden-figure gate enforce this.
 package engine
 
-import "noceval/internal/obs"
+import (
+	"context"
+
+	"noceval/internal/obs"
+)
 
 // NoEvent is returned by Driver.NextEvent when the driver has no scheduled
 // future work.
@@ -84,6 +88,15 @@ type InternalScheduler interface {
 type Config struct {
 	// Net is the fabric to drive.
 	Net Network
+	// Ctx, when non-nil, makes the run cancellable: the loop polls
+	// Ctx.Err() at every fast-forward boundary and at least once every
+	// cancelCheckEvery stepped cycles, so a cancelled run returns within a
+	// bounded number of cycles instead of finishing its schedule. A
+	// cancelled run reports Completed == false and Canceled == true; the
+	// simulation state is abandoned mid-flight, so its partial results
+	// must not be recorded or cached. Nil keeps the legacy uncancellable
+	// loop with zero per-cycle overhead beyond a nil check.
+	Ctx context.Context
 	// Deadline, when positive, aborts the run once Now reaches it (the
 	// openloop drain limit, the closed-loop MaxCycles). Run then returns
 	// completed == false.
@@ -118,6 +131,10 @@ type Config struct {
 type Outcome struct {
 	End       int64
 	Completed bool
+	// Canceled reports that the run was aborted by Config.Ctx rather than
+	// by its own stop condition or deadline. Canceled implies
+	// Completed == false, and the run's partial state is unusable.
+	Canceled bool
 	// Stepped counts cycles executed through Driver.Cycle + Network.Step;
 	// Skipped counts cycles the clock jumped without stepping them.
 	Stepped int64
@@ -136,6 +153,14 @@ func (o Outcome) SkipRatio() float64 {
 // occasional atomic adds on the process-wide registry, so the live
 // endpoint sees progress during long runs without an atomic per cycle.
 const metricsFlushEvery = 1 << 16
+
+// cancelCheckEvery bounds how many cycles may be stepped between two
+// Ctx.Err() polls. Stepping a cycle costs microseconds at most, so 1k
+// cycles keeps cancellation latency well under a millisecond while
+// amortizing the context poll (a mutex acquisition in cancelCtx) to
+// noise. Fast-forward jumps of any length always re-poll at the
+// boundary.
+const cancelCheckEvery = 1 << 10
 
 // Run drives the network until the driver completes or the deadline
 // passes, returning the final cycle and whether the driver completed.
@@ -167,8 +192,21 @@ func RunOutcome(cfg Config, d Driver) Outcome {
 		cStepped.Add(unflushed)
 		return out
 	}
+	// untilCancelCheck counts down the stepped cycles to the next context
+	// poll; starting at zero makes an already-cancelled context return
+	// before the first cycle is stepped.
+	var untilCancelCheck int64
 	for {
 		now := net.Now()
+		if cfg.Ctx != nil {
+			if untilCancelCheck--; untilCancelCheck < 0 {
+				untilCancelCheck = cancelCheckEvery
+				if cfg.Ctx.Err() != nil {
+					out.Canceled = true
+					return finish(false)
+				}
+			}
+		}
 		if d.Done(now) {
 			return finish(true)
 		}
@@ -197,6 +235,9 @@ func RunOutcome(cfg Config, d Driver) Outcome {
 					out.Skipped += next - now
 					cSkipped.Add(next - now)
 					cfg.Progress.Skip(next - now)
+					// A jump may have crossed an arbitrary stretch of
+					// simulated time; re-poll the context at the boundary.
+					untilCancelCheck = 0
 					continue
 				}
 			}

@@ -164,11 +164,11 @@ func (c *Cache) Get(k Key, out any) bool {
 	var e entry
 	if err := json.Unmarshal(data, &e); err != nil ||
 		e.Salt != c.salt || e.Kind != k.kind || !bytes.Equal(e.Config, k.desc) {
-		c.drop(p)
+		c.drop(p, data)
 		return false
 	}
 	if err := json.Unmarshal(e.Result, out); err != nil {
-		c.drop(p)
+		c.drop(p, data)
 		return false
 	}
 	c.hits.Add(1)
@@ -176,9 +176,16 @@ func (c *Cache) Get(k Key, out any) bool {
 	return true
 }
 
-// drop removes a corrupted or stale entry and counts it as a miss.
-func (c *Cache) drop(p string) {
-	os.Remove(p)
+// drop removes a corrupted or stale entry and counts it as a miss. bad is
+// the content the caller judged corrupt: the file is re-read and only
+// removed while it still holds those exact bytes, so a reader racing a
+// Put cannot delete the fresh entry the writer just renamed into place.
+// (A rename landing between the re-read and the Remove can still lose an
+// entry — the cost is one recomputation, never a wrong result.)
+func (c *Cache) drop(p string, bad []byte) {
+	if cur, err := os.ReadFile(p); err == nil && bytes.Equal(cur, bad) {
+		os.Remove(p)
+	}
 	c.drops.Add(1)
 	c.misses.Add(1)
 	c.mDrops.Inc()

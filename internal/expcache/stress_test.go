@@ -1,0 +1,122 @@
+package expcache
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSameKeyPutGetStress hammers ONE key from many writers and
+// readers at once — the exact shape of a coalescing miss in the experiment
+// service, where several jobs of the same spec can finish near-simultaneously
+// and all Put the identical result. The atomic temp-file+rename contract
+// promises that readers never observe a torn entry: every Get either misses
+// or returns the complete, correct result, and no entry is ever judged
+// corrupt (drops stays 0).
+func TestConcurrentSameKeyPutGetStress(t *testing.T) {
+	c := open(t, "v1")
+	cfg := fakeConfig{Topology: "mesh4x4", Rate: 0.35, Seed: 42}
+	k, err := c.Key("openloop", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fakeResult{Latency: 17.5, Samples: []float64{1, 2, 3, 4, 5, 6, 7, 8}, Stable: true}
+
+	const writers, readers, rounds = 6, 6, 200
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < rounds; i++ {
+				if err := c.Put(k, &want); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	hits := make([]int, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < rounds; i++ {
+				var got fakeResult
+				if !c.Get(k, &got) {
+					continue
+				}
+				hits[r]++
+				if got.Latency != want.Latency || !got.Stable || len(got.Samples) != len(want.Samples) {
+					t.Errorf("torn read: %+v", got)
+					return
+				}
+				for j := range got.Samples {
+					if got.Samples[j] != want.Samples[j] {
+						t.Errorf("torn read at sample %d: %+v", j, got)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	close(start)
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Drops != 0 {
+		t.Errorf("%d entries dropped as corrupt under same-key stress, want 0 (%s)", st.Drops, st)
+	}
+	if st.Puts != writers*rounds {
+		t.Errorf("puts = %d, want %d", st.Puts, writers*rounds)
+	}
+	var got fakeResult
+	if !c.Get(k, &got) || got.Latency != want.Latency {
+		t.Errorf("final Get after stress missed or mismatched: %+v", got)
+	}
+}
+
+// TestDropSparesFreshEntry pins the drop re-read guard: a reader that
+// decided stale bytes were corrupt must not delete the valid entry a
+// concurrent writer renamed into place between the read and the drop.
+func TestDropSparesFreshEntry(t *testing.T) {
+	c := open(t, "v1")
+	cfg := fakeConfig{Topology: "torus4x4", Rate: 0.2, Seed: 9}
+	k, err := c.Key("openloop", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The reader saw garbage...
+	p := c.path(k)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bad := []byte("{ truncated")
+	if err := os.WriteFile(p, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// ...but before it could drop the file, a writer replaced it.
+	want := fakeResult{Latency: 3.5}
+	if err := c.Put(k, &want); err != nil {
+		t.Fatal(err)
+	}
+	c.drop(p, bad)
+
+	var got fakeResult
+	if !c.Get(k, &got) {
+		t.Fatal("drop deleted the freshly written entry")
+	}
+	if got.Latency != want.Latency {
+		t.Fatalf("entry after drop = %+v, want %+v", got, want)
+	}
+	// The drop is still accounted for in the stats even when the file is
+	// spared: the caller did observe a corrupt read.
+	if st := c.Stats(); st.Drops != 1 {
+		t.Fatalf("drops = %d, want 1", st.Drops)
+	}
+}

@@ -72,6 +72,23 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// Add shifts the gauge by d (negative to decrease), for up/down values
+// like in-flight request counts. A nil gauge is a no-op. Concurrent Adds
+// are lossless (a CAS loop), but an Add racing a Set may be absorbed by
+// the Set's last-value-wins semantics; instruments should pick one style.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the last value set, 0 for a nil or never-set gauge.
 func (g *Gauge) Value() float64 {
 	if g == nil {

@@ -13,6 +13,7 @@
 package openloop
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -32,6 +33,11 @@ type Config struct {
 	Net     network.Config
 	Pattern traffic.Pattern
 	Sizes   traffic.SizeDist
+	// Ctx, when non-nil, makes the run cancellable: the engine polls it at
+	// fast-forward boundaries and every ~1k stepped cycles, and a
+	// cancelled run returns a nil result with an error wrapping the
+	// context's cause. Never part of the experiment-cache key.
+	Ctx context.Context
 	// Rate is the offered load in flits/cycle/node.
 	Rate float64
 	// Proc, when non-nil, replaces the default Bernoulli injection process
@@ -411,6 +417,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	eo := engine.RunOutcome(engine.Config{
 		Net:      net,
+		Ctx:      cfg.Ctx,
 		Deadline: drainFrom + cfg.DrainLimit,
 		Progress: cfg.Progress,
 		// During warmup and measurement the run length is known exactly;
@@ -427,6 +434,12 @@ func Run(cfg Config) (*Result, error) {
 	stable := eo.Completed
 	if cfg.OnEngine != nil {
 		cfg.OnEngine(eo)
+	}
+	if eo.Canceled {
+		// The run was abandoned mid-flight: no phase completed, so there is
+		// no partial result worth reporting (or caching).
+		net.Close()
+		return nil, fmt.Errorf("openloop: run canceled at cycle %d: %w", eo.End, context.Cause(cfg.Ctx))
 	}
 	if !stable {
 		cfg.Progress.Note(net.Now(), "drain aborted at DrainLimit (%d cycles) with %d tagged packets outstanding",

@@ -1,0 +1,134 @@
+package par
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"noceval/internal/obs"
+)
+
+// Pool is a persistent bounded-queue worker pool: the long-lived sibling
+// of the one-shot Parallel. Parallel fits a sweep — a known task count,
+// submitted all at once, joined once — while a server accepts work forever
+// and must bound how much of it piles up. Submissions beyond the queue
+// bound are rejected immediately (TrySubmit returns false) rather than
+// blocking the acceptor, so an overloaded experiment service degrades into
+// fast 503s instead of unbounded memory growth.
+//
+// A task panic does not kill its worker: the panic is recovered, wrapped
+// in a TaskPanic, and handed to the OnPanic hook (if any); the worker then
+// moves on to the next task. Close drains: it stops intake, runs every
+// already-queued task, and returns when the last worker is idle — the
+// graceful-shutdown half of the service's SIGTERM path.
+type Pool struct {
+	tasks   chan func()
+	wg      sync.WaitGroup
+	mu      sync.RWMutex
+	closed  bool
+	onPanic func(*TaskPanic)
+
+	cDone   *obs.Counter
+	cBusyNS *obs.Counter
+	gQueue  *obs.Gauge
+}
+
+// NewPool starts a pool with the given worker count and queue bound.
+// workers <= 0 selects GOMAXPROCS; queue <= 0 means no buffering (a
+// submission is accepted only when a worker is free to take it). onPanic,
+// when non-nil, receives each recovered task panic; nil drops panics after
+// counting them (the pool's instruments still record the event).
+func NewPool(workers, queue int, onPanic func(*TaskPanic)) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	// Instruments come from the process-wide registry; with none installed
+	// they are nil no-ops, matching Parallel's zero-overhead discipline.
+	reg := obs.Default()
+	p := &Pool{
+		tasks:   make(chan func(), queue),
+		onPanic: onPanic,
+		cDone:   reg.Counter("pool.tasks_done"),
+		cBusyNS: reg.Counter("pool.busy_ns"),
+		gQueue:  reg.Gauge("pool.queue_depth"),
+	}
+	if reg != nil {
+		reg.Gauge("pool.workers").Set(float64(workers))
+	}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// TrySubmit offers a task to the pool without blocking. It returns false
+// when the pool is closed or the queue is full; the caller owns the
+// rejection (the service turns it into HTTP 503).
+func (p *Pool) TrySubmit(task func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- task:
+		p.gQueue.Set(float64(len(p.tasks)))
+		obs.Default().Counter("pool.tasks_submitted").Inc()
+		return true
+	default:
+		obs.Default().Counter("pool.tasks_rejected").Inc()
+		return false
+	}
+}
+
+// Close stops intake, runs every task already queued, and blocks until all
+// workers have finished. Safe to call more than once; TrySubmit returns
+// false for the rest of the pool's life.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+	p.gQueue.Set(0)
+}
+
+// QueueDepth reports the tasks accepted but not yet picked up by a worker.
+func (p *Pool) QueueDepth() int { return len(p.tasks) }
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for task := range p.tasks {
+		p.gQueue.Set(float64(len(p.tasks)))
+		p.run(task)
+	}
+}
+
+func (p *Pool) run(task func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			obs.Default().Counter("pool.task_panics").Inc()
+			if p.onPanic != nil {
+				p.onPanic(&TaskPanic{Task: -1, Value: v, Stack: debug.Stack()})
+			}
+		}
+	}()
+	if p.cBusyNS == nil {
+		task()
+		return
+	}
+	start := time.Now()
+	task()
+	p.cBusyNS.Add(time.Since(start).Nanoseconds())
+	p.cDone.Inc()
+}

@@ -1,0 +1,100 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEverySubmittedTask(t *testing.T) {
+	p := NewPool(4, 16, nil)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		ok := p.TrySubmit(func() {
+			ran.Add(1)
+			wg.Done()
+		})
+		if !ok {
+			// Queue full is a legal outcome under load; retry synchronously
+			// until accepted so the count assertion below stays exact.
+			wg.Done()
+			for !p.TrySubmit(func() { ran.Add(1) }) {
+			}
+		}
+	}
+	p.Close()
+	if got := ran.Load(); got != 100 {
+		t.Fatalf("ran %d tasks, want 100", got)
+	}
+	wg.Wait()
+}
+
+func TestPoolTrySubmitRejectsWhenFull(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	p := NewPool(1, 1, nil)
+	// Occupy the single worker and wait until it has dequeued the task,
+	// so the queue slot is observably free before the next submit.
+	if !p.TrySubmit(func() { close(started); <-gate }) {
+		t.Fatal("first submit rejected")
+	}
+	<-started
+	// Fill the single queue slot.
+	if !p.TrySubmit(func() { <-gate }) {
+		t.Fatal("could not fill the queue slot")
+	}
+	// Worker busy + queue full: the next offer must bounce, not block.
+	if p.TrySubmit(func() {}) {
+		t.Fatal("TrySubmit accepted beyond the queue bound")
+	}
+	close(gate)
+	p.Close()
+}
+
+func TestPoolCloseDrainsQueuedTasks(t *testing.T) {
+	var ran atomic.Int64
+	gate := make(chan struct{})
+	p := NewPool(1, 8, nil)
+	p.TrySubmit(func() { <-gate; ran.Add(1) })
+	for i := 0; i < 5; i++ {
+		if !p.TrySubmit(func() { ran.Add(1) }) {
+			t.Fatalf("submit %d rejected with queue space free", i)
+		}
+	}
+	close(gate)
+	p.Close() // must block until the 6 accepted tasks have all run
+	if got := ran.Load(); got != 6 {
+		t.Fatalf("Close returned with %d tasks run, want 6", got)
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("TrySubmit accepted after Close")
+	}
+}
+
+func TestPoolTaskPanicDoesNotKillWorker(t *testing.T) {
+	var got *TaskPanic
+	var mu sync.Mutex
+	p := NewPool(1, 4, func(tp *TaskPanic) {
+		mu.Lock()
+		got = tp
+		mu.Unlock()
+	})
+	p.TrySubmit(func() { panic("job exploded") })
+	ran := make(chan struct{})
+	p.TrySubmit(func() { close(ran) })
+	<-ran // the single worker survived the panic and ran the next task
+	p.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if got == nil || got.Value != "job exploded" {
+		t.Fatalf("OnPanic got %+v, want the recovered panic value", got)
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2, 2, nil)
+	p.Close()
+	p.Close()
+}

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"net/http"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"noceval/internal/core"
+)
+
+// TestCoalescingSingleFlight is the tentpole proof: 32 concurrent
+// submissions of one identical spec must execute exactly one simulation.
+// Three independent witnesses confirm it — the run ledger holds a single
+// run record, the coalesce counter reads 31, and all 32 submitters land
+// on one job id whose result bytes they share.
+func TestCoalescingSingleFlight(t *testing.T) {
+	reg := withObs(t)
+	ledgerPath := filepath.Join(t.TempDir(), "runs.jsonl")
+	if err := core.EnableLedger(ledgerPath); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { core.DisableLedger() })
+
+	_, ts := newTestServer(t, Config{Workers: 4})
+	// Long enough (1M measured cycles) that the job is still in flight
+	// while all 32 submissions land, short enough to finish in-test.
+	spec := specJSON(0.1, 7, 1_000_000)
+
+	const N = 32
+	var (
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+		mu    sync.Mutex
+		codes []int
+		ids   = make(map[string]int)
+		fresh int
+	)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			code, sr := postSpec(t, ts.URL, spec)
+			mu.Lock()
+			codes = append(codes, code)
+			ids[sr.ID]++
+			if !sr.CoalescedOnto {
+				fresh++
+			}
+			mu.Unlock()
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if len(ids) != 1 {
+		t.Fatalf("submissions landed on %d distinct jobs %v, want 1", len(ids), ids)
+	}
+	if fresh != 1 {
+		t.Fatalf("%d submissions created a job, want exactly 1", fresh)
+	}
+	var accepted, ok int
+	for _, c := range codes {
+		switch c {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusOK:
+			ok++
+		}
+	}
+	if accepted != 1 || ok != N-1 {
+		t.Fatalf("status split = %d accepted / %d coalesced, want 1/%d", accepted, ok, N-1)
+	}
+	if got := reg.Counter("service.jobs_coalesced").Value(); got != N-1 {
+		t.Fatalf("service.jobs_coalesced = %d, want %d", got, N-1)
+	}
+	if got := reg.Counter("service.jobs_submitted").Value(); got != 1 {
+		t.Fatalf("service.jobs_submitted = %d, want 1", got)
+	}
+
+	var id string
+	for k := range ids {
+		id = k
+	}
+	final := waitTerminal(t, ts.URL, id, 120*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("coalesced job ended %q (error %q), want done", final.State, final.Error)
+	}
+	if final.Coalesced != N-1 {
+		t.Fatalf("job view coalesced = %d, want %d", final.Coalesced, N-1)
+	}
+
+	// All 32 clients read byte-identical results.
+	results := make(map[string]bool)
+	for i := 0; i < N; i++ {
+		_, v := getView(t, ts.URL, id)
+		if v.Result == "" {
+			t.Fatal("empty result on a done job")
+		}
+		results[v.Result] = true
+	}
+	if len(results) != 1 {
+		t.Fatalf("clients saw %d distinct result payloads, want 1", len(results))
+	}
+
+	// Exactly one simulation ran: one ledger record, one runner start.
+	if got := core.LedgerAppends(); got != 1 {
+		t.Fatalf("ledger run records = %d, want 1", got)
+	}
+	if got := reg.Counter("core.runs_started").Value(); got != 1 {
+		t.Fatalf("core.runs_started = %d, want 1", got)
+	}
+}
+
+// TestRepeatServedFromCache covers the second half of dedup: once the
+// first job completes (so the single-flight entry is gone), resubmitting
+// the identical spec starts a fresh job whose simulation is answered by
+// the content-addressed experiment cache — same result bytes, cache hit
+// counted, no second engine run.
+func TestRepeatServedFromCache(t *testing.T) {
+	reg := withObs(t)
+	if err := core.EnableCache(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(core.DisableCache)
+
+	_, ts := newTestServer(t, Config{Workers: 2})
+	spec := quickSpec(8)
+
+	_, first := postSpec(t, ts.URL, spec)
+	v1 := waitTerminal(t, ts.URL, first.ID, 30*time.Second)
+	if v1.State != StateDone {
+		t.Fatalf("first job ended %q (error %q)", v1.State, v1.Error)
+	}
+
+	code, second := postSpec(t, ts.URL, spec)
+	if code != http.StatusAccepted || second.CoalescedOnto {
+		t.Fatalf("repeat submit = %d coalesced=%v, want a fresh 202 job (first already finished)",
+			code, second.CoalescedOnto)
+	}
+	if second.ID == first.ID {
+		t.Fatal("repeat after completion reused the old job id")
+	}
+	v2 := waitTerminal(t, ts.URL, second.ID, 30*time.Second)
+	if v2.State != StateDone {
+		t.Fatalf("repeat job ended %q (error %q)", v2.State, v2.Error)
+	}
+	if v1.Result != v2.Result {
+		t.Fatalf("cache-served repeat differs:\nfirst:  %q\nrepeat: %q", v1.Result, v2.Result)
+	}
+	if hits := reg.Counter("expcache.hits").Value(); hits < 1 {
+		t.Fatalf("expcache.hits = %d, want >= 1 (repeat must be cache-served)", hits)
+	}
+	// Both jobs consulted the runner layer, but only the first stepped an
+	// engine: the repeat's engine.runs counter stays where the first left
+	// it.
+	if runs := reg.Counter("engine.runs").Value(); runs != 1 {
+		t.Fatalf("engine.runs = %d, want 1 (cache hit must not simulate)", runs)
+	}
+}

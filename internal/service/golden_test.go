@@ -1,0 +1,200 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// Golden tests pin the wire format of every JSON response: field names,
+// nesting, omitempty behaviour, and error-body shape. Values that vary
+// run to run (timestamps, wall time, hashes, simulation output) are
+// redacted to stable placeholders before comparison, so a golden diff
+// means the API schema changed — which is exactly what clients care
+// about. Job ids are NOT redacted: each subtest gets a fresh server, so
+// the per-server sequence is deterministic.
+
+func redact(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, val := range x {
+			switch k {
+			case "submittedAt", "startedAt", "finishedAt":
+				if s, ok := val.(string); ok && s != "" {
+					x[k] = "<time>"
+				}
+			case "wallMs":
+				x[k] = float64(1)
+			case "specHash":
+				if s, ok := val.(string); ok && s != "" {
+					x[k] = "<hash>"
+				}
+			case "result":
+				if s, ok := val.(string); ok && s != "" {
+					x[k] = "<result>"
+				}
+			default:
+				x[k] = redact(val)
+			}
+		}
+		return x
+	case []any:
+		for i := range x {
+			x[i] = redact(x[i])
+		}
+		return x
+	}
+	return v
+}
+
+// checkGolden redacts, re-marshals deterministically (Go sorts map keys),
+// and compares against testdata/<name>.golden.json.
+func checkGolden(t *testing.T, name string, body []byte) {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, body)
+	}
+	got, err := json.MarshalIndent(redact(v), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name+".golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/service -run Golden -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: response schema drifted from golden\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func do(t *testing.T, method, url, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func TestGoldenAPISchema(t *testing.T) {
+	t.Run("submit_accepted", func(t *testing.T) {
+		withObs(t)
+		_, ts := newTestServer(t, Config{Workers: 1})
+		// Saturate the single worker so the submission under test stays
+		// "queued" — a deterministic state for the golden.
+		_, blocker := postSpec(t, ts.URL, slowSpec(900))
+		waitState(t, ts.URL, blocker.ID, StateRunning, 10*time.Second)
+		code, body := do(t, http.MethodPost, ts.URL+"/jobs", quickSpec(901))
+		if code != http.StatusAccepted {
+			t.Fatalf("status = %d, want 202", code)
+		}
+		checkGolden(t, "submit_accepted", body)
+	})
+
+	t.Run("submit_coalesced", func(t *testing.T) {
+		withObs(t)
+		_, ts := newTestServer(t, Config{Workers: 1})
+		postSpec(t, ts.URL, slowSpec(902))
+		code, body := do(t, http.MethodPost, ts.URL+"/jobs", slowSpec(902))
+		if code != http.StatusOK {
+			t.Fatalf("status = %d, want 200", code)
+		}
+		checkGolden(t, "submit_coalesced", body)
+	})
+
+	t.Run("submit_invalid_json", func(t *testing.T) {
+		withObs(t)
+		_, ts := newTestServer(t, Config{Workers: 1})
+		code, body := do(t, http.MethodPost, ts.URL+"/jobs", "{")
+		if code != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", code)
+		}
+		checkGolden(t, "submit_invalid_json", body)
+	})
+
+	t.Run("submit_unknown_kind", func(t *testing.T) {
+		withObs(t)
+		_, ts := newTestServer(t, Config{Workers: 1})
+		code, body := do(t, http.MethodPost, ts.URL+"/jobs", `{"kind":"warp"}`)
+		if code != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", code)
+		}
+		checkGolden(t, "submit_unknown_kind", body)
+	})
+
+	t.Run("job_done", func(t *testing.T) {
+		withObs(t)
+		_, ts := newTestServer(t, Config{Workers: 1})
+		// 300k measured cycles: slow enough that wallMs is reliably >= 1,
+		// so the golden pins the field as present.
+		_, sr := postSpec(t, ts.URL, specJSON(0.1, 903, 300_000))
+		waitTerminal(t, ts.URL, sr.ID, 60*time.Second)
+		code, body := do(t, http.MethodGet, ts.URL+"/jobs/"+sr.ID, "")
+		if code != http.StatusOK {
+			t.Fatalf("status = %d, want 200", code)
+		}
+		checkGolden(t, "job_done", body)
+	})
+
+	t.Run("job_not_found", func(t *testing.T) {
+		withObs(t)
+		_, ts := newTestServer(t, Config{Workers: 1})
+		code, body := do(t, http.MethodGet, ts.URL+"/jobs/job-999999", "")
+		if code != http.StatusNotFound {
+			t.Fatalf("status = %d, want 404", code)
+		}
+		checkGolden(t, "job_not_found", body)
+	})
+
+	t.Run("cancel_not_found", func(t *testing.T) {
+		withObs(t)
+		_, ts := newTestServer(t, Config{Workers: 1})
+		code, body := do(t, http.MethodPost, ts.URL+"/jobs/job-999999/cancel", "")
+		if code != http.StatusNotFound {
+			t.Fatalf("status = %d, want 404", code)
+		}
+		checkGolden(t, "cancel_not_found", body)
+	})
+
+	t.Run("dashboard", func(t *testing.T) {
+		withObs(t)
+		_, ts := newTestServer(t, Config{Workers: 1})
+		_, sr := postSpec(t, ts.URL, specJSON(0.1, 904, 300_000))
+		waitTerminal(t, ts.URL, sr.ID, 60*time.Second)
+		code, body := do(t, http.MethodGet, ts.URL+"/jobs", "")
+		if code != http.StatusOK {
+			t.Fatalf("status = %d, want 200", code)
+		}
+		checkGolden(t, "dashboard", body)
+	})
+}

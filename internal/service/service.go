@@ -1,0 +1,287 @@
+// Package service is the multi-tenant experiment server behind cmd/nocd:
+// clients POST declarative experiment specs (the same JSON
+// core.ExperimentSpec that `noceval run -config` consumes) and poll or
+// stream the resulting jobs. The server composes the framework's existing
+// cross-cutting layers rather than reimplementing them:
+//
+//   - identical in-flight specs coalesce onto one simulation — a
+//     single-flight table keyed by the spec's content hash (the same
+//     SHA-256 family the experiment cache and run ledger use), so a burst
+//     of duplicate submissions costs one engine run;
+//   - repeated specs are served from the content-addressed experiment
+//     cache when one is enabled (core.EnableCache), making warm repeats
+//     disk-read cheap;
+//   - concurrency is bounded by a par.Pool job scheduler with a bounded
+//     queue: saturation degrades into fast HTTP 503s, never unbounded
+//     memory;
+//   - every job runs under a context threaded into the engine's cycle
+//     loop, so per-job timeouts and client cancellations stop multi-minute
+//     sweeps within ~1k simulated cycles;
+//   - the obs registry, run ledger and Prometheus surface observe the
+//     whole thing (per-endpoint HTTP metrics, job counters, /metrics).
+//
+// Graceful shutdown is two-stage: Drain stops intake and lets accepted
+// jobs finish (SIGTERM), Abort cancels everything first (second signal).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"noceval/internal/core"
+	"noceval/internal/obs"
+	"noceval/internal/par"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers bounds how many jobs simulate concurrently (<= 0 selects
+	// GOMAXPROCS).
+	Workers int
+	// Queue bounds how many accepted jobs may wait for a worker; further
+	// submissions are rejected with 503 (default 64).
+	Queue int
+	// JobTimeout, when positive, fails any job still running after this
+	// long (the context cause names the timeout).
+	JobTimeout time.Duration
+	// MaxBodyBytes bounds a submission body (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+// Server owns the job table and scheduler. Create with New, expose with
+// Handler, shut down with Drain or Abort.
+type Server struct {
+	cfg  Config
+	reg  *obs.Registry
+	pool *par.Pool
+
+	mu       sync.Mutex
+	jobs     map[string]*Job // by job id
+	order    []*Job          // submission order, for the dashboard
+	inflight map[string]*Job // by spec hash; single-flight table
+
+	seq      int64
+	draining atomic.Bool
+
+	cSubmitted *obs.Counter
+	cCoalesced *obs.Counter
+	cRejected  *obs.Counter
+	cDone      *obs.Counter
+	cFailed    *obs.Counter
+	cCanceled  *obs.Counter
+}
+
+// New builds a server on the process-wide obs registry (nil registry =
+// all instruments disabled, zero overhead).
+func New(cfg Config) *Server {
+	if cfg.Queue == 0 {
+		cfg.Queue = 64
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	reg := obs.Default()
+	s := &Server{
+		cfg:        cfg,
+		reg:        reg,
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
+		cSubmitted: reg.Counter("service.jobs_submitted"),
+		cCoalesced: reg.Counter("service.jobs_coalesced"),
+		cRejected:  reg.Counter("service.jobs_rejected"),
+		cDone:      reg.Counter("service.jobs_done"),
+		cFailed:    reg.Counter("service.jobs_failed"),
+		cCanceled:  reg.Counter("service.jobs_canceled"),
+	}
+	s.pool = par.NewPool(cfg.Workers, cfg.Queue, nil)
+	return s
+}
+
+// submitError carries the HTTP status a failed submission maps to.
+type submitError struct {
+	status int
+	msg    string
+}
+
+func (e *submitError) Error() string { return e.msg }
+
+// Submit parses, validates, and schedules one experiment spec. The
+// returned bool reports coalescing: true means an identical spec was
+// already in flight and the returned view is that existing job. On error
+// the *submitError (via errors.As) carries the HTTP status.
+func (s *Server) Submit(data []byte) (View, bool, error) {
+	spec, err := core.ParseSpec(data)
+	if err != nil {
+		return View{}, false, &submitError{status: 400, msg: err.Error()}
+	}
+	if err := spec.Validate(); err != nil {
+		return View{}, false, &submitError{status: 400, msg: err.Error()}
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return View{}, false, &submitError{status: 500, msg: fmt.Sprintf("service: hashing spec: %v", err)}
+	}
+	if s.draining.Load() {
+		return View{}, false, &submitError{status: 503, msg: "service: draining, not accepting jobs"}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j := s.inflight[hash]; j != nil {
+		j.coalesce()
+		s.cCoalesced.Inc()
+		return j.View(), true, nil
+	}
+	s.seq++
+	j := newJob(fmt.Sprintf("job-%06d", s.seq), hash, spec)
+	// Insert before scheduling and keep s.mu across TrySubmit (it never
+	// blocks): a worker that finishes the job instantly then blocks in
+	// release until the tables are consistent, and a refused submission
+	// can roll the insertion back before anyone observed it.
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.inflight[hash] = j
+	if !s.pool.TrySubmit(func() { s.run(j) }) {
+		delete(s.jobs, j.id)
+		delete(s.inflight, hash)
+		s.order = s.order[:len(s.order)-1]
+		s.seq--
+		s.cRejected.Inc()
+		return View{}, false, &submitError{status: 503, msg: "service: job queue full"}
+	}
+	s.cSubmitted.Inc()
+	return j.View(), false, nil
+}
+
+// run executes one job on a pool worker.
+func (s *Server) run(j *Job) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.settle(j, "", fmt.Errorf("service: job panicked: %v", v))
+		}
+	}()
+	ctx, ok := j.start(s.cfg.JobTimeout)
+	if !ok {
+		// Canceled while queued; cancelQueued already finished it, only
+		// the single-flight entry remains to clean up.
+		s.release(j)
+		return
+	}
+	out, err := j.spec.RunContext(ctx)
+	s.settle(j, out, err)
+}
+
+// settle moves a finished run into its terminal state and releases the
+// single-flight entry.
+func (s *Server) settle(j *Job, out string, err error) {
+	switch {
+	case err == nil:
+		if j.finish(StateDone, out, "") {
+			s.cDone.Inc()
+		}
+	case errors.Is(err, context.Canceled):
+		if j.finish(StateCanceled, "", err.Error()) {
+			s.cCanceled.Inc()
+		}
+	default:
+		if j.finish(StateFailed, "", err.Error()) {
+			s.cFailed.Inc()
+		}
+	}
+	s.release(j)
+}
+
+// release removes the job's single-flight entry so later identical specs
+// start a fresh job (served from the experiment cache when enabled).
+func (s *Server) release(j *Job) {
+	s.mu.Lock()
+	if s.inflight[j.hash] == j {
+		delete(s.inflight, j.hash)
+	}
+	s.mu.Unlock()
+}
+
+// Job looks a job up by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel aborts a job: a queued job finishes immediately, a running one
+// is stopped through its context (the engine loop notices within ~1k
+// cycles). Canceling a terminal job is a no-op. ok is false when the id
+// is unknown.
+func (s *Server) Cancel(id string) (View, bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return View{}, false
+	}
+	if j.cancelQueued() {
+		s.cCanceled.Inc()
+		s.release(j)
+	} else {
+		j.cancel(context.Canceled)
+	}
+	return j.View(), true
+}
+
+// Dashboard is the GET /jobs payload.
+type Dashboard struct {
+	Jobs       []View         `json:"jobs"`
+	QueueDepth int            `json:"queueDepth"`
+	Draining   bool           `json:"draining"`
+	Counts     map[string]int `json:"counts"`
+}
+
+// Snapshot builds the dashboard view: every job in submission order plus
+// scheduler state.
+func (s *Server) Snapshot() Dashboard {
+	s.mu.Lock()
+	jobs := append([]*Job(nil), s.order...)
+	s.mu.Unlock()
+	d := Dashboard{
+		Jobs:       make([]View, 0, len(jobs)),
+		QueueDepth: s.pool.QueueDepth(),
+		Draining:   s.draining.Load(),
+		Counts:     make(map[string]int),
+	}
+	for _, j := range jobs {
+		v := j.View()
+		d.Counts[v.State]++
+		d.Jobs = append(d.Jobs, v)
+	}
+	return d
+}
+
+// Drain stops intake (submissions get 503) and blocks until every
+// accepted job — queued and running — has reached a terminal state. The
+// SIGTERM path.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.pool.Close()
+}
+
+// Abort cancels every non-terminal job, then drains. The
+// second-signal/hard-shutdown path; still bounded only by the engine's
+// cancellation latency.
+func (s *Server) Abort() {
+	s.draining.Store(true)
+	s.mu.Lock()
+	jobs := append([]*Job(nil), s.order...)
+	s.mu.Unlock()
+	for _, j := range jobs {
+		if j.cancelQueued() {
+			s.cCanceled.Inc()
+			s.release(j)
+		} else {
+			j.cancel(context.Canceled)
+		}
+	}
+	s.pool.Close()
+}

@@ -1,0 +1,381 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"noceval/internal/obs"
+)
+
+// withObs installs a fresh process-wide registry for one test, so counter
+// assertions see only this test's traffic.
+func withObs(t *testing.T) *obs.Registry {
+	t.Helper()
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	t.Cleanup(func() { obs.SetDefault(nil) })
+	return reg
+}
+
+// newTestServer builds a Server and serves its API over httptest.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Abort()
+	})
+	return s, ts
+}
+
+// specJSON builds an openloop spec on a mesh4x4 with explicit phase
+// lengths: measure controls how long the job simulates, so tests pick
+// their own point on the fast/slow axis. Distinct seeds give distinct
+// spec hashes.
+func specJSON(rate float64, seed uint64, measure int64) string {
+	return fmt.Sprintf(`{"kind":"openloop","network":{"Topology":"mesh4x4","VCs":2,"BufDepth":16,"RouterDelay":1,"Routing":"dor","Arb":"rr","Pattern":"uniform","Sizes":"single","Seed":%d},"rate":%g,"warmup":200,"measure":%d,"drainLimit":50000}`,
+		seed, rate, measure)
+}
+
+// quickSpec finishes in well under a second.
+func quickSpec(seed uint64) string { return specJSON(0.1, seed, 2000) }
+
+// slowSpec simulates 20M cycles — far beyond any test's patience, so it
+// only ever ends by cancel, timeout, or abort.
+func slowSpec(seed uint64) string { return specJSON(0.1, seed, 20_000_000) }
+
+func postSpec(t *testing.T, url, body string) (int, SubmitResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SubmitResponse
+	data, _ := io.ReadAll(resp.Body)
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatalf("decoding submit response %q: %v", data, err)
+	}
+	return resp.StatusCode, sr
+}
+
+func getView(t *testing.T, url, id string) (int, View) {
+	t.Helper()
+	resp, err := http.Get(url + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, v
+}
+
+// waitTerminal polls a job until it reaches a terminal state.
+func waitTerminal(t *testing.T, url, id string, timeout time.Duration) View {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		code, v := getView(t, url, id)
+		if code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s = %d", id, code)
+		}
+		if Terminal(v.State) {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %q after %v", id, v.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitState polls until the job reaches the given (non-terminal) state.
+func waitState(t *testing.T, url, id, state string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		_, v := getView(t, url, id)
+		if v.State == state {
+			return
+		}
+		if Terminal(v.State) {
+			t.Fatalf("job %s reached terminal %q while waiting for %q (error: %s)", id, v.State, state, v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %q after %v, want %q", id, v.State, timeout, state)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	withObs(t)
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	code, sr := postSpec(t, ts.URL, quickSpec(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	if sr.ID == "" || sr.CoalescedOnto {
+		t.Fatalf("submit response = %+v, want fresh job", sr)
+	}
+	if sr.Kind != "openloop" || sr.SpecHash == "" {
+		t.Fatalf("submit response = %+v, want kind/hash populated", sr)
+	}
+
+	v := waitTerminal(t, ts.URL, sr.ID, 30*time.Second)
+	if v.State != StateDone {
+		t.Fatalf("job ended %q (error %q), want done", v.State, v.Error)
+	}
+	if !strings.HasPrefix(v.Result, "openloop mesh4x4") {
+		t.Fatalf("result = %q, want an openloop report", v.Result)
+	}
+	if v.StartedAt == "" || v.FinishedAt == "" {
+		t.Fatalf("terminal view missing timestamps: %+v", v)
+	}
+
+	// Dashboard reflects the finished job.
+	resp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dash Dashboard
+	if err := json.NewDecoder(resp.Body).Decode(&dash); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(dash.Jobs) != 1 || dash.Counts[StateDone] != 1 || dash.Draining {
+		t.Fatalf("dashboard = %+v, want one done job", dash)
+	}
+
+	// Unknown job ids are 404s.
+	if code, _ := getView(t, ts.URL, "job-999999"); code != http.StatusNotFound {
+		t.Fatalf("GET unknown job = %d, want 404", code)
+	}
+}
+
+func TestSubmitRejectsBadSpecs(t *testing.T) {
+	withObs(t)
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, tc := range []struct {
+		name, body string
+		wantStatus int
+	}{
+		{"invalid json", "not json", 400},
+		{"unknown kind", `{"kind":"warp","rate":0.1}`, 400},
+		{"unknown field", `{"kind":"openloop","rate":0.1,"bogus":1}`, 400},
+		{"missing rate", `{"kind":"openloop"}`, 400},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			var eb errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+				t.Fatalf("error body = %+v (decode err %v), want an error message", eb, err)
+			}
+		})
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	reg := withObs(t)
+	_, ts := newTestServer(t, Config{Workers: 1})
+	_, sr := postSpec(t, ts.URL, slowSpec(2))
+	waitState(t, ts.URL, sr.ID, StateRunning, 10*time.Second)
+
+	resp, err := http.Post(ts.URL+"/jobs/"+sr.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel = %d, want 200", resp.StatusCode)
+	}
+	v := waitTerminal(t, ts.URL, sr.ID, 30*time.Second)
+	if v.State != StateCanceled {
+		t.Fatalf("job ended %q (error %q), want canceled", v.State, v.Error)
+	}
+	if !strings.Contains(v.Error, "canceled") {
+		t.Fatalf("error = %q, want cancellation mentioned", v.Error)
+	}
+	if got := reg.Counter("service.jobs_canceled").Value(); got != 1 {
+		t.Fatalf("jobs_canceled = %d, want 1", got)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	withObs(t)
+	_, ts := newTestServer(t, Config{Workers: 1, Queue: 8})
+	// Occupy the single worker, then queue a second job behind it.
+	_, blocker := postSpec(t, ts.URL, slowSpec(3))
+	waitState(t, ts.URL, blocker.ID, StateRunning, 10*time.Second)
+	_, queued := postSpec(t, ts.URL, slowSpec(4))
+	if _, v := getView(t, ts.URL, queued.ID); v.State != StateQueued {
+		t.Fatalf("second job is %q, want queued behind the single worker", v.State)
+	}
+
+	// A queued cancel resolves immediately — no worker ever touches it.
+	resp, err := http.Post(ts.URL+"/jobs/"+queued.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, v := getView(t, ts.URL, queued.ID); v.State != StateCanceled {
+		t.Fatalf("queued job after cancel = %q, want canceled", v.State)
+	}
+	// The blocker is unaffected.
+	if _, v := getView(t, ts.URL, blocker.ID); v.State != StateRunning {
+		t.Fatalf("blocker = %q, want still running", v.State)
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	withObs(t)
+	_, ts := newTestServer(t, Config{Workers: 1, JobTimeout: 100 * time.Millisecond})
+	_, sr := postSpec(t, ts.URL, slowSpec(5))
+	v := waitTerminal(t, ts.URL, sr.ID, 30*time.Second)
+	if v.State != StateFailed {
+		t.Fatalf("timed-out job ended %q, want failed", v.State)
+	}
+	if !strings.Contains(v.Error, "timed out after") {
+		t.Fatalf("error = %q, want the timeout cause", v.Error)
+	}
+}
+
+func TestSSEStreamsToTerminalState(t *testing.T) {
+	withObs(t)
+	_, ts := newTestServer(t, Config{Workers: 1})
+	_, sr := postSpec(t, ts.URL, specJSON(0.1, 6, 100_000))
+
+	resp, err := http.Get(ts.URL + "/jobs/" + sr.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	var states []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var v View
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &v); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		states = append(states, v.State)
+	}
+	// The stream ends server-side after the terminal event, so Scan
+	// returning false means the job finished.
+	if len(states) == 0 {
+		t.Fatal("no SSE events received")
+	}
+	if last := states[len(states)-1]; last != StateDone {
+		t.Fatalf("final streamed state = %q (saw %v), want done", last, states)
+	}
+}
+
+func TestDrainFinishesAcceptedAndRejectsNew(t *testing.T) {
+	withObs(t)
+	s, ts := newTestServer(t, Config{Workers: 2, Queue: 8})
+	var ids []string
+	for seed := uint64(10); seed < 13; seed++ {
+		_, sr := postSpec(t, ts.URL, quickSpec(seed))
+		ids = append(ids, sr.ID)
+	}
+	s.Drain() // blocks until all three jobs finish
+
+	for _, id := range ids {
+		if _, v := getView(t, ts.URL, id); v.State != StateDone {
+			t.Fatalf("job %s = %q after drain, want done", id, v.State)
+		}
+	}
+	// New submissions bounce with 503 and healthz reports draining.
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(quickSpec(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503", resp.StatusCode)
+	}
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", hz.StatusCode)
+	}
+}
+
+func TestQueueFullRejectsWith503(t *testing.T) {
+	reg := withObs(t)
+	_, ts := newTestServer(t, Config{Workers: 1, Queue: 1})
+	_, blocker := postSpec(t, ts.URL, slowSpec(20))
+	waitState(t, ts.URL, blocker.ID, StateRunning, 10*time.Second)
+	if code, _ := postSpec(t, ts.URL, slowSpec(21)); code != http.StatusAccepted {
+		t.Fatalf("queue-slot submit = %d, want 202", code)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(slowSpec(22)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-queue submit = %d, want 503", resp.StatusCode)
+	}
+	var eb errorBody
+	json.NewDecoder(resp.Body).Decode(&eb)
+	if !strings.Contains(eb.Error, "queue full") {
+		t.Fatalf("error = %q, want queue full", eb.Error)
+	}
+	if got := reg.Counter("service.jobs_rejected").Value(); got != 1 {
+		t.Fatalf("jobs_rejected = %d, want 1", got)
+	}
+}
+
+func TestMetricsEndpointExposesServiceCounters(t *testing.T) {
+	withObs(t)
+	_, ts := newTestServer(t, Config{Workers: 1})
+	_, sr := postSpec(t, ts.URL, quickSpec(30))
+	waitTerminal(t, ts.URL, sr.ID, 30*time.Second)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"service_jobs_submitted 1",
+		"service_jobs_done 1",
+		"http_submit_requests 1",
+		"http_submit_latency_ms_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q\n%s", want, text)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package noceval
 
 import (
 	"testing"
+	"time"
 
 	"noceval/internal/core"
 	"noceval/internal/engine"
@@ -17,6 +18,7 @@ import (
 	"noceval/internal/obs"
 	"noceval/internal/obs/ledger"
 	"noceval/internal/router"
+	"noceval/internal/service"
 )
 
 // loadedNetwork builds a mesh4x4 network with deep source queues and a
@@ -101,6 +103,27 @@ func TestCrossRunObsDisabledZeroAllocs(t *testing.T) {
 		})
 		if allocs != 0 {
 			t.Errorf("disabled instruments allocate %.2f allocs/op, want 0", allocs)
+		}
+	})
+
+	t.Run("http endpoint metrics", func(t *testing.T) {
+		// The experiment service instruments every endpoint; a nocd built
+		// without a registry (impossible today, but the nil path is the
+		// contract) must not pay for it, and neither must any future
+		// caller holding nil EndpointMetrics.
+		em := service.NewEndpointMetrics(nil, "submit")
+		var nilEM *service.EndpointMetrics
+		g := (*obs.Gauge)(nil)
+		start := time.Now()
+		allocs := testing.AllocsPerRun(200, func() {
+			em.Begin()
+			em.End(start)
+			nilEM.Begin()
+			nilEM.End(start)
+			g.Add(2)
+		})
+		if allocs != 0 {
+			t.Errorf("disabled endpoint metrics allocate %.2f allocs/op, want 0", allocs)
 		}
 	})
 
